@@ -1,0 +1,74 @@
+"""Ablation A-1 — dense exact pipeline vs sparse large-scale pipeline.
+
+DESIGN.md's measurement methodology offers two paths: the dense transition
+matrix (exact worst-case TV mixing time, exact spectra) and the sparse CSR
+path (single-start TV convergence, Lanczos spectral gap) that scales far
+beyond the dense cap.  This ablation checks, on games where both run, that
+the two paths agree — and then demonstrates the sparse path on a profile
+space (2^12 profiles) that the dense pipeline would not want to touch.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis import render_experiment
+from repro.core import LogitDynamics, measure_mixing_time, measure_relaxation_time
+from repro.games import CoordinationParams, GraphicalCoordinationGame
+from repro.markov.sparse import sparse_mixing_time_from_state, sparse_relaxation_time
+
+BETA = 0.8
+DELTA = 1.0
+
+
+def agreement_rows() -> list[list[object]]:
+    rows = []
+    for n in (4, 5, 6, 7):
+        game = GraphicalCoordinationGame(nx.cycle_graph(n), CoordinationParams.ising(DELTA))
+        dynamics = LogitDynamics(game, BETA)
+        dense_mix = measure_mixing_time(game, BETA).mixing_time
+        dense_rel = measure_relaxation_time(game, BETA)
+        sparse_chain = dynamics.sparse_markov_chain()
+        start = game.space.encode((1,) * n)  # consensus = worst-case start
+        sparse_mix = sparse_mixing_time_from_state(sparse_chain, start)
+        sparse_rel = sparse_relaxation_time(sparse_chain)
+        rows.append(
+            [
+                n,
+                2**n,
+                dense_mix,
+                sparse_mix,
+                dense_rel,
+                sparse_rel,
+                dense_mix == sparse_mix and abs(dense_rel - sparse_rel) / dense_rel < 1e-6,
+            ]
+        )
+    return rows
+
+
+def large_scale_row() -> list[object]:
+    n = 12
+    game = GraphicalCoordinationGame(nx.cycle_graph(n), CoordinationParams.ising(DELTA))
+    dynamics = LogitDynamics(game, 0.4)
+    chain = dynamics.sparse_markov_chain()
+    start = game.space.encode((1,) * n)
+    mix = sparse_mixing_time_from_state(chain, start)
+    return [n, 2**n, "-", mix, "-", sparse_relaxation_time(chain), True]
+
+
+def test_ablation_sparse_vs_dense(benchmark):
+    rows = benchmark(agreement_rows)
+    rows = rows + [large_scale_row()]
+    print()
+    print(
+        render_experiment(
+            "A-1  Ablation — dense exact pipeline vs sparse CSR pipeline (ring coordination game)",
+            ["n", "|S|", "t_mix dense", "t_mix sparse (consensus start)", "t_rel dense", "t_rel sparse", "agree"],
+            rows,
+            notes=(
+                "The sparse path reproduces the dense numbers exactly where both run, and keeps\n"
+                "working at 2^12 profiles where the dense matrix would have 16.7M entries."
+            ),
+        )
+    )
+    assert all(r[6] for r in rows[:-1])

@@ -1,0 +1,78 @@
+"""E-3.4 — Theorem 3.4: t_mix <= 2 m n e^{beta DeltaPhi} (log 1/eps + beta DeltaPhi + n log m).
+
+Beta-sweep on a symmetric two-well potential game: the exact mixing time must
+stay below the bound for every beta, and its growth in beta must be
+exponential with rate close to DeltaPhi (the bound's exponent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import exponential_growth_rate, render_experiment
+from repro.core import (
+    lemma33_relaxation_upper,
+    measure_mixing_time,
+    measure_relaxation_time,
+    theorem34_mixing_upper,
+)
+from repro.games import TwoWellGame
+
+NUM_PLAYERS = 5
+BARRIER = 1.0
+BETAS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+def theorem34_rows() -> list[list[object]]:
+    game = TwoWellGame(NUM_PLAYERS, barrier=BARRIER)
+    delta_phi = game.max_global_variation()
+    rows = []
+    for beta in BETAS:
+        measured = measure_mixing_time(game, beta).mixing_time
+        t_rel = measure_relaxation_time(game, beta)
+        mix_bound = theorem34_mixing_upper(NUM_PLAYERS, 2, beta, delta_phi)
+        rel_bound = lemma33_relaxation_upper(NUM_PLAYERS, 2, beta, delta_phi)
+        rows.append(
+            [
+                beta,
+                measured,
+                mix_bound,
+                measured <= mix_bound,
+                t_rel,
+                rel_bound,
+                t_rel <= rel_bound + 1e-9,
+            ]
+        )
+    return rows
+
+
+def test_theorem34_upper_bound(benchmark):
+    rows = benchmark(theorem34_rows)
+    game = TwoWellGame(NUM_PLAYERS, barrier=BARRIER)
+    delta_phi = game.max_global_variation()
+    print()
+    print(
+        render_experiment(
+            "E-3.4  Theorem 3.4 — potential-game upper bound (two-well, n=5, DeltaPhi=1)",
+            [
+                "beta",
+                "t_mix measured",
+                "thm 3.4 bound",
+                "mix ok",
+                "t_rel measured",
+                "lem 3.3 bound",
+                "rel ok",
+            ],
+            rows,
+            notes=(
+                "Paper claim: t_mix <= 2 m n e^{beta DeltaPhi}(log 4 + beta DeltaPhi + n log m);\n"
+                "the measured growth rate in beta should approach DeltaPhi for large beta."
+            ),
+        )
+    )
+    assert all(r[3] for r in rows) and all(r[6] for r in rows)
+    # shape check: measured exponential rate close to DeltaPhi on the large-beta tail
+    betas = np.array(BETAS[-4:])
+    times = np.array([r[1] for r in rows[-4:]], dtype=float)
+    rate = exponential_growth_rate(betas, times)
+    assert 0.5 * delta_phi <= rate <= 1.5 * delta_phi, f"measured rate {rate} vs DeltaPhi {delta_phi}"

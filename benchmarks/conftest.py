@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module reproduces one theorem-level experiment of the paper
+(see DESIGN.md §5): it sweeps the relevant parameter, measures the exact
+mixing / relaxation time of the logit chain, computes the paper's bound,
+prints a table, and asserts that the paper's qualitative claim (sandwich
+inequality and/or scaling shape) holds.  The pytest-benchmark fixture is
+used to time the representative measurement of each experiment so that
+``pytest benchmarks/ --benchmark-only`` also reports wall-clock costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # The experiment tables are the point of these benchmarks: always show them.
+    config.option.capture = "no"
+
+
+@pytest.fixture(scope="session")
+def epsilon() -> float:
+    """The paper's mixing-time convention: t_mix = t_mix(1/4)."""
+    return 0.25

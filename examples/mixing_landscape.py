@@ -1,0 +1,93 @@
+"""How game structure shapes the mixing time: a landscape survey.
+
+For a collection of games drawn from every family in the package (coordination
+games on different topologies, the paper's lower-bound constructions, a
+congestion game, a dominant-strategy game) this example computes:
+
+* the structural quantities the paper's bounds depend on — DeltaPhi, deltaPhi,
+  the barrier zeta, and (for graphical games) the cutwidth of the social graph,
+* the exact mixing time at a common beta,
+* the tightest applicable upper bound from the paper.
+
+Reading the table row by row reproduces the paper's qualitative message: the
+mixing time is governed by the barrier zeta (and through it by the cutwidth
+for graphical games), not by the raw size of the game.
+
+Run with:  python examples/mixing_landscape.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro import (
+    measure_mixing_time,
+    render_table,
+    structural_quantities,
+    theorem38_mixing_upper,
+)
+from repro.games import (
+    AnonymousDominantGame,
+    CoordinationParams,
+    GraphicalCoordinationGame,
+    SingletonCongestionGame,
+    Theorem35Game,
+    TwoWellGame,
+)
+from repro.graphs import cutwidth_exact
+
+BETA = 1.5
+
+
+def build_games() -> dict[str, tuple[object, object]]:
+    """Return name -> (game, social_graph_or_None)."""
+    params = CoordinationParams.from_deltas(1.0, 0.5)
+    ising = CoordinationParams.ising(1.0)
+    return {
+        "ring coordination (n=6)": (GraphicalCoordinationGame(nx.cycle_graph(6), ising), nx.cycle_graph(6)),
+        "clique coordination (n=5)": (GraphicalCoordinationGame(nx.complete_graph(5), ising), nx.complete_graph(5)),
+        "star coordination (n=6)": (GraphicalCoordinationGame(nx.star_graph(5), params), nx.star_graph(5)),
+        "two-well (n=5)": (TwoWellGame(5, barrier=1.0), None),
+        "thm 3.5 family (n=6)": (Theorem35Game(6, 2.0, 1.0), None),
+        "congestion, 4 players / 2 links": (SingletonCongestionGame(4, 2), None),
+        "dominant-strategy (n=4)": (AnonymousDominantGame(4, 2), None),
+    }
+
+
+def main() -> None:
+    rows = []
+    for name, (game, graph) in build_games().items():
+        sq = structural_quantities(game)
+        cutwidth = cutwidth_exact(graph) if graph is not None else "-"
+        mixing = measure_mixing_time(game, BETA).mixing_time
+        upper = theorem38_mixing_upper(
+            sq.num_players, sq.max_strategies, BETA, sq.zeta, sq.delta_phi_global
+        )
+        rows.append(
+            [
+                name,
+                sq.num_profiles,
+                sq.delta_phi_global,
+                sq.delta_phi_local,
+                sq.zeta,
+                cutwidth,
+                mixing,
+                upper,
+            ]
+        )
+    print(f"Structural landscape vs exact mixing time at beta = {BETA}\n")
+    print(
+        render_table(
+            ["game", "|S|", "DeltaPhi", "deltaPhi", "zeta", "cutwidth", "t_mix", "Thm 3.8 upper"],
+            rows,
+        )
+    )
+    print(
+        "\nGames with a small barrier zeta (congestion, dominant-strategy, star with risk\n"
+        "dominance) mix fast no matter how large DeltaPhi is; games that force the dynamics\n"
+        "over a potential ridge (two-well, Theorem 3.5 family, symmetric clique) are the slow ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: logit dynamics on a small coordination game, end to end.
+
+Builds the graphical coordination game on a 6-ring, runs the logit dynamics
+at a few noise levels, and reports for each beta:
+
+* the exact mixing time t_mix(1/4) of the chain,
+* the relaxation time from the spectrum,
+* the paper's Theorem 5.6 upper bound and Theorem 5.7 lower bound,
+* the Gibbs stationary probability of the two consensus profiles.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro import (
+    CoordinationParams,
+    GraphicalCoordinationGame,
+    LogitDynamics,
+    measure_mixing_time,
+    measure_relaxation_time,
+    render_table,
+    theorem56_ring_mixing_upper,
+    theorem57_ring_mixing_lower,
+)
+
+NUM_PLAYERS = 6
+DELTA = 1.0
+BETAS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+def main() -> None:
+    # A coordination game with no risk-dominant equilibrium (delta0 = delta1):
+    # both consensus profiles are equally good, which is the slow-mixing case.
+    game = GraphicalCoordinationGame(
+        nx.cycle_graph(NUM_PLAYERS), CoordinationParams.ising(DELTA)
+    )
+    all0, all1 = game.consensus_profiles()
+
+    rows = []
+    for beta in BETAS:
+        mix = measure_mixing_time(game, beta)
+        t_rel = measure_relaxation_time(game, beta)
+        pi = LogitDynamics(game, beta).stationary_distribution()
+        rows.append(
+            [
+                beta,
+                mix.mixing_time,
+                t_rel,
+                theorem57_ring_mixing_lower(beta, DELTA),
+                theorem56_ring_mixing_upper(NUM_PLAYERS, beta, DELTA),
+                pi[all0] + pi[all1],
+            ]
+        )
+
+    print(f"Logit dynamics on a {NUM_PLAYERS}-player ring coordination game (delta = {DELTA})")
+    print(
+        render_table(
+            [
+                "beta",
+                "t_mix (exact)",
+                "t_rel (exact)",
+                "Thm 5.7 lower",
+                "Thm 5.6 upper",
+                "pi(consensus)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nAs beta grows the chain spends more stationary mass on the two consensus\n"
+        "profiles and the mixing time grows like e^{2 delta beta}, staying inside the\n"
+        "paper's Theorem 5.6 / 5.7 sandwich."
+    )
+
+
+if __name__ == "__main__":
+    main()

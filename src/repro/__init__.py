@@ -1,0 +1,181 @@
+"""repro — Logit dynamics for strategic games, reproduced.
+
+A production-quality reproduction of *"Convergence to Equilibrium of Logit
+Dynamics for Strategic Games"* (Auletta, Ferraioli, Pasquale, Penna,
+Persiano — SPAA 2011 / arXiv:1212.1884).  The package provides:
+
+* :mod:`repro.games` — strategic games, potential games, the paper's
+  coordination / dominant-strategy / lower-bound constructions, congestion
+  games and the Ising model;
+* :mod:`repro.markov` — a generic finite-Markov-chain toolkit (stationary
+  distributions, exact mixing time, spectral gaps, couplings, canonical
+  paths, bottleneck ratios);
+* :mod:`repro.graphs` — social-network topologies and cutwidth computation;
+* :mod:`repro.core` — the logit dynamics itself, the Gibbs stationary
+  measure, mixing-time measurement drivers, and every theorem-level bound
+  of the paper as an explicit callable;
+* :mod:`repro.analysis` — parameter sweeps and experiment report tables.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import CoordinationParams, GraphicalCoordinationGame, LogitDynamics
+    from repro import measure_mixing_time, theorem56_ring_mixing_upper
+
+    game = GraphicalCoordinationGame(nx.cycle_graph(6), CoordinationParams.ising(1.0))
+    result = measure_mixing_time(game, beta=1.0)
+    bound = theorem56_ring_mixing_upper(num_players=6, beta=1.0, delta=1.0)
+    assert result.mixing_time <= bound
+"""
+
+from .analysis import (
+    SweepRecord,
+    SweepResult,
+    beta_sweep,
+    exponential_growth_rate,
+    render_experiment,
+    render_table,
+    size_sweep,
+)
+from .core import (
+    LogitDynamics,
+    MixingMeasurement,
+    StructuralQuantities,
+    clique_potential_barrier,
+    estimate_mixing_time_coupling,
+    gibbs_measure,
+    lemma32_relaxation_upper,
+    lemma33_relaxation_upper,
+    lemma37_relaxation_upper,
+    logit_update_distribution,
+    measure_mixing_time,
+    measure_mixing_with_bounds,
+    measure_relaxation_time,
+    measure_spectral_summary,
+    mixing_time_vs_beta,
+    relaxation_time_vs_beta,
+    structural_quantities,
+    theorem34_mixing_upper,
+    theorem35_mixing_lower,
+    theorem36_beta_threshold,
+    theorem36_mixing_upper,
+    theorem38_mixing_upper,
+    theorem39_mixing_lower,
+    theorem42_mixing_upper,
+    theorem43_mixing_lower,
+    theorem51_mixing_upper,
+    theorem55_clique_bounds,
+    theorem56_ring_mixing_upper,
+    theorem57_ring_mixing_lower,
+)
+from .games import (
+    AnonymousDominantGame,
+    CoordinationParams,
+    ExplicitPotentialGame,
+    Game,
+    GraphicalCoordinationGame,
+    IsingGame,
+    NormalFormGame,
+    PotentialGame,
+    ProfileSpace,
+    SingletonCongestionGame,
+    TableGame,
+    Theorem35Game,
+    TwoPlayerCoordinationGame,
+    TwoWellGame,
+    random_dominant_game,
+    random_game,
+)
+from .graphs import (
+    clique_graph,
+    cutwidth_exact,
+    cutwidth_greedy,
+    cutwidth_known,
+    cutwidth_of_ordering,
+    ring_graph,
+)
+from .markov import (
+    MarkovChain,
+    bottleneck_ratio,
+    mixing_time,
+    mixing_time_lower_bound,
+    relaxation_time,
+    spectral_summary,
+    total_variation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "SweepRecord",
+    "SweepResult",
+    "beta_sweep",
+    "exponential_growth_rate",
+    "render_experiment",
+    "render_table",
+    "size_sweep",
+    # core
+    "LogitDynamics",
+    "MixingMeasurement",
+    "StructuralQuantities",
+    "clique_potential_barrier",
+    "estimate_mixing_time_coupling",
+    "gibbs_measure",
+    "lemma32_relaxation_upper",
+    "lemma33_relaxation_upper",
+    "lemma37_relaxation_upper",
+    "logit_update_distribution",
+    "measure_mixing_time",
+    "measure_mixing_with_bounds",
+    "measure_relaxation_time",
+    "measure_spectral_summary",
+    "mixing_time_vs_beta",
+    "relaxation_time_vs_beta",
+    "structural_quantities",
+    "theorem34_mixing_upper",
+    "theorem35_mixing_lower",
+    "theorem36_beta_threshold",
+    "theorem36_mixing_upper",
+    "theorem38_mixing_upper",
+    "theorem39_mixing_lower",
+    "theorem42_mixing_upper",
+    "theorem43_mixing_lower",
+    "theorem51_mixing_upper",
+    "theorem55_clique_bounds",
+    "theorem56_ring_mixing_upper",
+    "theorem57_ring_mixing_lower",
+    # games
+    "AnonymousDominantGame",
+    "CoordinationParams",
+    "ExplicitPotentialGame",
+    "Game",
+    "GraphicalCoordinationGame",
+    "IsingGame",
+    "NormalFormGame",
+    "PotentialGame",
+    "ProfileSpace",
+    "SingletonCongestionGame",
+    "TableGame",
+    "Theorem35Game",
+    "TwoPlayerCoordinationGame",
+    "TwoWellGame",
+    "random_dominant_game",
+    "random_game",
+    # graphs
+    "clique_graph",
+    "cutwidth_exact",
+    "cutwidth_greedy",
+    "cutwidth_known",
+    "cutwidth_of_ordering",
+    "ring_graph",
+    # markov
+    "MarkovChain",
+    "bottleneck_ratio",
+    "mixing_time",
+    "mixing_time_lower_bound",
+    "relaxation_time",
+    "spectral_summary",
+    "total_variation",
+]

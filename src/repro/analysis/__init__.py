@@ -1,0 +1,35 @@
+"""Analysis helpers: parameter sweeps and experiment-report rendering."""
+
+from .welfare import (
+    logit_price_of_anarchy,
+    optimal_welfare,
+    social_welfare_vector,
+    stationary_expected_welfare,
+    welfare_vs_beta,
+    worst_equilibrium_welfare,
+)
+from .report import format_value, render_experiment, render_table
+from .sweep import (
+    SweepRecord,
+    SweepResult,
+    beta_sweep,
+    exponential_growth_rate,
+    size_sweep,
+)
+
+__all__ = [
+    "logit_price_of_anarchy",
+    "optimal_welfare",
+    "social_welfare_vector",
+    "stationary_expected_welfare",
+    "welfare_vs_beta",
+    "worst_equilibrium_welfare",
+    "format_value",
+    "render_experiment",
+    "render_table",
+    "SweepRecord",
+    "SweepResult",
+    "beta_sweep",
+    "exponential_growth_rate",
+    "size_sweep",
+]

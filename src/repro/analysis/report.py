@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints, for every theorem, a table with one row per
+parameter setting: the measured quantity, the paper's bound, and whether
+the bound is respected.  The renderer here is dependency-free (no pandas)
+and produces aligned, monospace-friendly tables that are easy to diff and
+to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_value", "render_table", "render_experiment"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Human-friendly formatting of table cells (floats, ints, bools, inf)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        v = float(value)
+        if np.isnan(v):
+            return "nan"
+        if np.isinf(v):
+            return "inf" if v > 0 else "-inf"
+        if v != 0 and (abs(v) >= 10**6 or abs(v) < 10 ** -(precision - 1)):
+            return f"{v:.{precision}g}"
+        return f"{v:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table with the given headers and rows."""
+    headers = [str(h) for h in headers]
+    str_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines = [header_line, sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_experiment(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a titled experiment block (title, table, optional notes)."""
+    parts = [f"== {title} =="]
+    parts.append(render_table(headers, rows, precision=precision))
+    if notes:
+        parts.append(notes.strip())
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,142 @@
+"""Parameter sweeps over beta, system size and graph topology.
+
+The paper's qualitative claims are about *scaling*: mixing time exponential
+in ``beta * DeltaPhi`` (Theorem 3.4/3.5), polynomial for small ``beta``
+(Theorem 3.6), beta-independent for dominant-strategy games (Theorem 4.2),
+and exponential in ``2 delta beta`` on the ring (Theorems 5.6/5.7).  The
+sweep helpers here run a game family over a grid of parameters, collect the
+measured mixing/relaxation times next to the paper's bounds, and extract
+the empirical exponential growth rate so the benchmarks can check slopes as
+well as sandwich inequalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.mixing import measure_mixing_time, measure_relaxation_time
+from ..games.base import Game
+
+__all__ = [
+    "SweepRecord",
+    "SweepResult",
+    "beta_sweep",
+    "size_sweep",
+    "exponential_growth_rate",
+]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One point of a sweep: the parameters and the measured quantities."""
+
+    parameter: float
+    mixing_time: float
+    relaxation_time: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep: records plus the name of the swept parameter."""
+
+    parameter_name: str
+    records: tuple[SweepRecord, ...]
+
+    def parameters(self) -> np.ndarray:
+        """Swept parameter values, in sweep order."""
+        return np.array([r.parameter for r in self.records], dtype=float)
+
+    def mixing_times(self) -> np.ndarray:
+        """Measured mixing times, in sweep order."""
+        return np.array([r.mixing_time for r in self.records], dtype=float)
+
+    def relaxation_times(self) -> np.ndarray:
+        """Measured relaxation times, in sweep order."""
+        return np.array([r.relaxation_time for r in self.records], dtype=float)
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows suitable for :func:`repro.analysis.report.render_table`."""
+        rows: list[list[object]] = []
+        for r in self.records:
+            row: list[object] = [r.parameter, r.mixing_time, r.relaxation_time]
+            row.extend(r.extra.values())
+            rows.append(row)
+        return rows
+
+
+def beta_sweep(
+    game: Game,
+    betas: Sequence[float],
+    epsilon: float = 0.25,
+    max_time: int = 10**7,
+    include_relaxation: bool = True,
+    extra: Callable[[Game, float], dict] | None = None,
+) -> SweepResult:
+    """Measure mixing (and optionally relaxation) time over a grid of betas."""
+    records = []
+    for beta in betas:
+        beta = float(beta)
+        mix = measure_mixing_time(game, beta, epsilon=epsilon, max_time=max_time)
+        relax = measure_relaxation_time(game, beta) if include_relaxation else float("nan")
+        extras = extra(game, beta) if extra is not None else {}
+        records.append(
+            SweepRecord(
+                parameter=beta,
+                mixing_time=float(mix.mixing_time),
+                relaxation_time=float(relax),
+                extra=extras,
+            )
+        )
+    return SweepResult(parameter_name="beta", records=tuple(records))
+
+
+def size_sweep(
+    game_factory: Callable[[int], Game],
+    sizes: Sequence[int],
+    beta: float,
+    epsilon: float = 0.25,
+    max_time: int = 10**7,
+    include_relaxation: bool = True,
+    extra: Callable[[Game, int], dict] | None = None,
+) -> SweepResult:
+    """Measure mixing time of ``game_factory(n)`` over a grid of sizes ``n``."""
+    records = []
+    for n in sizes:
+        game = game_factory(int(n))
+        mix = measure_mixing_time(game, beta, epsilon=epsilon, max_time=max_time)
+        relax = measure_relaxation_time(game, beta) if include_relaxation else float("nan")
+        extras = extra(game, int(n)) if extra is not None else {}
+        records.append(
+            SweepRecord(
+                parameter=float(n),
+                mixing_time=float(mix.mixing_time),
+                relaxation_time=float(relax),
+                extra=extras,
+            )
+        )
+    return SweepResult(parameter_name="n", records=tuple(records))
+
+
+def exponential_growth_rate(parameters: np.ndarray, values: np.ndarray) -> float:
+    """Least-squares slope of ``log(values)`` against ``parameters``.
+
+    For a quantity growing like ``C * exp(rate * p)`` this recovers
+    ``rate``; the benchmarks compare the fitted rate against the paper's
+    predicted exponent (``DeltaPhi`` for Theorem 3.4/3.5, ``zeta`` for
+    Theorem 3.8/3.9, ``2 delta`` for the ring).  Non-positive values are
+    rejected because they have no logarithm.
+    """
+    p = np.asarray(parameters, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if p.shape != v.shape or p.ndim != 1:
+        raise ValueError("parameters and values must be 1-D arrays of equal length")
+    if p.size < 2:
+        raise ValueError("need at least two points to fit a growth rate")
+    if np.any(v <= 0):
+        raise ValueError("values must be positive to fit an exponential growth rate")
+    slope, _intercept = np.polyfit(p, np.log(v), deg=1)
+    return float(slope)

@@ -1,0 +1,99 @@
+"""Stationary expected social welfare of the logit dynamics.
+
+The companion paper the authors cite ([4], "Mixing time and stationary
+expected social welfare of logit dynamics", SAGT 2010) evaluates the logit
+dynamics not only by how fast it converges but by *how good* the states it
+visits are: the expected social welfare under the stationary distribution.
+This module implements those observables so the package covers that
+evaluation axis as well:
+
+* :func:`social_welfare_vector` — utilitarian welfare (sum of utilities) of
+  every profile;
+* :func:`stationary_expected_welfare` — its expectation under the logit
+  stationary distribution at a given beta;
+* :func:`optimal_welfare` / :func:`worst_equilibrium_welfare` — the usual
+  price-of-anarchy style reference points;
+* :func:`logit_price_of_anarchy` — the ratio between the optimum and the
+  stationary expectation, as a function of beta;
+* :func:`welfare_vs_beta` — a sweep helper for the welfare-vs-noise curves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.logit import LogitDynamics
+from ..games.base import Game, pure_nash_equilibria
+
+__all__ = [
+    "social_welfare_vector",
+    "stationary_expected_welfare",
+    "optimal_welfare",
+    "worst_equilibrium_welfare",
+    "logit_price_of_anarchy",
+    "welfare_vs_beta",
+]
+
+
+def social_welfare_vector(game: Game) -> np.ndarray:
+    """Utilitarian social welfare ``W(x) = sum_i u_i(x)`` for every profile."""
+    welfare = np.zeros(game.space.size, dtype=float)
+    for player in range(game.num_players):
+        welfare += game.utility_matrix(player)
+    return welfare
+
+
+def stationary_expected_welfare(game: Game, beta: float) -> float:
+    """``E_pi[W]`` under the logit stationary distribution at inverse noise beta."""
+    pi = LogitDynamics(game, beta).stationary_distribution()
+    return float(np.dot(pi, social_welfare_vector(game)))
+
+
+def optimal_welfare(game: Game) -> float:
+    """The maximum social welfare over all profiles (the social optimum)."""
+    return float(np.max(social_welfare_vector(game)))
+
+
+def worst_equilibrium_welfare(game: Game) -> float | None:
+    """The minimum welfare over pure Nash equilibria (``None`` if there are none).
+
+    This is the reference point of the classical price of anarchy; comparing
+    it with :func:`stationary_expected_welfare` shows whether the logit
+    dynamics spends its time in better or worse states than the worst PNE.
+    """
+    equilibria = pure_nash_equilibria(game)
+    if not equilibria:
+        return None
+    welfare = social_welfare_vector(game)
+    return float(np.min(welfare[equilibria]))
+
+
+def logit_price_of_anarchy(game: Game, beta: float) -> float:
+    """``optimal_welfare / stationary_expected_welfare`` at the given beta.
+
+    Only meaningful for games with positive welfare everywhere (raises
+    otherwise) — the convention used by the companion paper.  Values close
+    to 1 mean the logit dynamics spends its time near socially optimal
+    profiles.
+    """
+    expected = stationary_expected_welfare(game, beta)
+    optimum = optimal_welfare(game)
+    if expected <= 0:
+        raise ValueError(
+            "stationary expected welfare is not positive; the ratio is undefined "
+            "(shift utilities to be positive if a ratio is required)"
+        )
+    return optimum / expected
+
+
+def welfare_vs_beta(game: Game, betas: Sequence[float]) -> np.ndarray:
+    """Sweep: rows ``(beta, E_pi[W], optimal W, ratio)`` for each beta."""
+    optimum = optimal_welfare(game)
+    rows = []
+    for beta in betas:
+        expected = stationary_expected_welfare(game, float(beta))
+        ratio = optimum / expected if expected > 0 else float("nan")
+        rows.append((float(beta), expected, optimum, ratio))
+    return np.array(rows, dtype=float)

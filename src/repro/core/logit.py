@@ -1,0 +1,266 @@
+"""The logit dynamics Markov chain (Section 2 of the paper).
+
+At every step a player ``i`` is selected uniformly at random and updates
+her strategy to ``y`` with probability (Equation 2)::
+
+    sigma_i(y | x) = exp(beta * u_i(y, x_-i)) / T_i(x),
+    T_i(x) = sum_{z in S_i} exp(beta * u_i(z, x_-i)).
+
+The induced Markov chain (Equation 3) moves along Hamming edges (or stays
+put) with
+
+* ``P(x, y) = sigma_i(y_i | x) / n`` when ``x`` and ``y`` differ only in
+  player ``i``'s strategy,
+* ``P(x, x) = (1/n) * sum_i sigma_i(x_i | x)``.
+
+:class:`LogitDynamics` builds this chain for any :class:`~repro.games.Game`.
+The transition matrix is assembled fully vectorised — one softmax per
+player over the whole profile space — and the stationary distribution is
+supplied in closed form (the Gibbs measure) whenever the game is a
+potential game, so that downstream mixing-time computations never depend on
+an eigen-solve for ``pi``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from ..games.base import Game
+from ..games.potential import PotentialGame
+from ..markov.chain import MarkovChain
+from ..markov.coupling import CouplingResult, simulate_grand_coupling
+from .stationary import gibbs_measure
+
+__all__ = ["LogitDynamics", "logit_update_distribution"]
+
+
+def logit_update_distribution(utilities: np.ndarray, beta: float) -> np.ndarray:
+    """Softmax ``exp(beta u) / sum exp(beta u)`` computed in log space.
+
+    ``utilities`` may be 1-D (one profile) or 2-D with one row per profile;
+    the softmax is taken along the last axis.
+    """
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    u = np.asarray(utilities, dtype=float)
+    logits = beta * u
+    log_norm = logsumexp(logits, axis=-1, keepdims=True)
+    return np.exp(logits - log_norm)
+
+
+class LogitDynamics:
+    """Logit dynamics with inverse noise ``beta`` for a finite game.
+
+    Parameters
+    ----------
+    game:
+        Any :class:`~repro.games.Game`.  If it is a
+        :class:`~repro.games.PotentialGame` the Gibbs measure is used as the
+        (exact) stationary distribution of the chain.
+    beta:
+        Inverse noise / rationality parameter, ``beta >= 0``.
+    """
+
+    def __init__(self, game: Game, beta: float):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.game = game
+        self.beta = float(beta)
+        self._matrix: np.ndarray | None = None
+        self._chain: MarkovChain | None = None
+
+    # -- update rule -------------------------------------------------------
+
+    def update_distribution(self, profile: Sequence[int] | np.ndarray, player: int) -> np.ndarray:
+        """``sigma_player(. | profile)`` for a profile given as a tuple/array."""
+        profile_index = self.game.space.encode(np.asarray(profile, dtype=np.int64))
+        return self.update_distribution_by_index(profile_index, player)
+
+    def update_distribution_by_index(self, profile_index: int, player: int) -> np.ndarray:
+        """``sigma_player(. | x)`` for a profile given by index."""
+        utilities = self.game.utility_deviations(player, profile_index)
+        return logit_update_distribution(utilities, self.beta)
+
+    def player_update_matrix(self, player: int) -> np.ndarray:
+        """``(|S|, m_player)`` matrix of update probabilities for every profile.
+
+        Row ``x`` is ``sigma_player(. | x)``; this is the vectorised
+        building block of the full transition matrix.
+        """
+        space = self.game.space
+        devs = space.deviation_matrix(player)  # (|S|, m)
+        utilities = self.game.utility_matrix(player)[devs]
+        return logit_update_distribution(utilities, self.beta)
+
+    # -- transition matrix --------------------------------------------------
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense ``(|S|, |S|)`` transition matrix of Equation (3)."""
+        if self._matrix is None:
+            space = self.game.space
+            n = space.num_players
+            size = space.size
+            P = np.zeros((size, size), dtype=float)
+            rows = np.arange(size, dtype=np.int64)
+            for player in range(n):
+                devs = space.deviation_matrix(player)  # (|S|, m_i)
+                probs = self.player_update_matrix(player) / n
+                # scatter-add: P[x, devs[x, s]] += probs[x, s]; when the
+                # deviation equals x itself the mass lands on the diagonal,
+                # which is exactly the "player re-picks her own strategy"
+                # term of Equation (3).
+                np.add.at(P, (rows[:, None], devs), probs)
+            self._matrix = P
+        return self._matrix
+
+    def sparse_transition_matrix(self):
+        """CSR sparse transition matrix of Equation (3).
+
+        The logit chain has at most ``sum_i m_i`` non-zeros per row, so the
+        sparse representation scales to profile spaces far beyond the dense
+        cap; see :mod:`repro.markov.sparse` for the matching measurement
+        tools.
+        """
+        import scipy.sparse as sp
+
+        space = self.game.space
+        n = space.num_players
+        size = space.size
+        rows_idx = np.arange(size, dtype=np.int64)
+        data_parts = []
+        row_parts = []
+        col_parts = []
+        for player in range(n):
+            devs = space.deviation_matrix(player)  # (|S|, m_i)
+            probs = self.player_update_matrix(player) / n
+            m_i = devs.shape[1]
+            row_parts.append(np.repeat(rows_idx, m_i))
+            col_parts.append(devs.ravel())
+            data_parts.append(probs.ravel())
+        matrix = sp.coo_matrix(
+            (
+                np.concatenate(data_parts),
+                (np.concatenate(row_parts), np.concatenate(col_parts)),
+            ),
+            shape=(size, size),
+        )
+        return matrix.tocsr()
+
+    def sparse_markov_chain(self):
+        """The chain wrapped as a :class:`repro.markov.sparse.SparseMarkovChain`."""
+        from ..markov.sparse import SparseMarkovChain
+
+        stationary = None
+        if isinstance(self.game, PotentialGame):
+            stationary = gibbs_measure(self.game.potential_vector(), self.beta)
+        return SparseMarkovChain(self.sparse_transition_matrix(), stationary=stationary)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution: Gibbs measure for potential games."""
+        if isinstance(self.game, PotentialGame):
+            return gibbs_measure(self.game.potential_vector(), self.beta)
+        return self.markov_chain().stationary.copy()
+
+    def markov_chain(self) -> MarkovChain:
+        """The chain wrapped as a :class:`~repro.markov.MarkovChain`."""
+        if self._chain is None:
+            stationary = None
+            if isinstance(self.game, PotentialGame):
+                stationary = gibbs_measure(self.game.potential_vector(), self.beta)
+            self._chain = MarkovChain(self.transition_matrix(), stationary=stationary)
+        return self._chain
+
+    # -- simulation (matrix-free) -------------------------------------------
+
+    def simulate(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Simulate a trajectory without building the transition matrix.
+
+        Returns the recorded profiles as an ``(k, n)`` int array where the
+        first row is the start profile and subsequent rows are snapshots
+        every ``record_every`` steps.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
+        profile = np.asarray(start, dtype=np.int64).copy()
+        space = self.game.space
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        snapshots = [profile.copy()]
+        players = rng.integers(0, space.num_players, size=num_steps)
+        uniforms = rng.random(num_steps)
+        for t in range(num_steps):
+            i = int(players[t])
+            probs = self.update_distribution(profile, i)
+            cumulative = np.cumsum(probs)
+            profile[i] = int(np.searchsorted(cumulative, uniforms[t], side="right"))
+            profile[i] = min(profile[i], space.num_strategies[i] - 1)
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
+
+    def simulate_hitting_time(
+        self,
+        start: Sequence[int] | np.ndarray,
+        target_index: int,
+        rng: np.random.Generator | None = None,
+        max_steps: int = 10**6,
+    ) -> int:
+        """Steps until the trajectory first hits ``target_index`` (or -1)."""
+        rng = np.random.default_rng() if rng is None else rng
+        profile = np.asarray(start, dtype=np.int64).copy()
+        space = self.game.space
+        target = np.asarray(space.decode(target_index), dtype=np.int64)
+        if np.array_equal(profile, target):
+            return 0
+        for t in range(1, max_steps + 1):
+            i = int(rng.integers(0, space.num_players))
+            probs = self.update_distribution(profile, i)
+            cumulative = np.cumsum(probs)
+            profile[i] = int(np.searchsorted(cumulative, rng.random(), side="right"))
+            profile[i] = min(profile[i], space.num_strategies[i] - 1)
+            if np.array_equal(profile, target):
+                return t
+        return -1
+
+    def grand_coupling(
+        self,
+        start_x: Sequence[int] | np.ndarray,
+        start_y: Sequence[int] | np.ndarray,
+        horizon: int,
+        num_runs: int = 32,
+        rng: np.random.Generator | None = None,
+    ) -> CouplingResult:
+        """Simulate the paper's grand coupling between two starting profiles.
+
+        This is the coupling used in the proofs of Theorems 3.6 and 4.2:
+        both copies pick the same player and the same uniform variable, and
+        map it through their own logit update distribution via the maximal
+        overlap construction.
+        """
+        space = self.game.space
+
+        def update(profile: np.ndarray, player: int) -> np.ndarray:
+            return self.update_distribution(profile, player)
+
+        return simulate_grand_coupling(
+            num_players=space.num_players,
+            num_strategies=space.num_strategies,
+            update_distribution=update,
+            start_x=np.asarray(start_x, dtype=np.int64),
+            start_y=np.asarray(start_y, dtype=np.int64),
+            horizon=horizon,
+            num_runs=num_runs,
+            rng=rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogitDynamics(game={self.game!r}, beta={self.beta})"

@@ -1,0 +1,190 @@
+"""Transient-phase / metastability analysis of slow logit chains.
+
+When the mixing time is exponential, the paper's conclusions (and the
+follow-up work [2] it cites, "Metastability of logit dynamics for
+coordination games", SODA 2012) ask what can be said about the chain's
+behaviour *before* equilibrium: the dynamics typically gets trapped near a
+potential well, behaves for a long while as if the well's conditional
+stationary distribution were the equilibrium, and only escapes on the
+exponential time-scale.  This module provides the standard tools to make
+that picture quantitative:
+
+* :func:`restricted_chain` — the chain watched inside a set ``R`` (moves out
+  of ``R`` are cancelled and turned into holding probability), whose
+  stationary distribution is the metastable "pseudo-equilibrium";
+* :func:`conditional_stationary` — the true stationary distribution
+  conditioned on ``R`` (the Gibbs measure restricted to the well);
+* :func:`quasi_stationary_distribution` — the left Perron eigenvector of the
+  sub-stochastic matrix ``P_R``: the law of the chain conditioned on not yet
+  having escaped ``R``;
+* :func:`escape_time_from` — exact expected exit time of a set from a given
+  starting distribution;
+* :func:`pseudo_mixing_time` — the time needed for the chain started inside
+  ``R`` to get close to the restricted stationary distribution (the
+  "metastable mixing" time, typically polynomial even when the true mixing
+  time is exponential).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..games.base import Game
+from ..markov.chain import MarkovChain
+from ..markov.tv import total_variation
+from .logit import LogitDynamics
+
+__all__ = [
+    "restricted_chain",
+    "conditional_stationary",
+    "quasi_stationary_distribution",
+    "escape_time_from",
+    "pseudo_mixing_time",
+    "metastable_report",
+]
+
+
+def _validate_subset(states: Sequence[int] | np.ndarray, num_states: int) -> np.ndarray:
+    idx = np.unique(np.asarray(states, dtype=np.int64))
+    if idx.size == 0:
+        raise ValueError("the restriction set must be non-empty")
+    if idx.min() < 0 or idx.max() >= num_states:
+        raise ValueError("restriction set contains out-of-range states")
+    return idx
+
+
+def restricted_chain(chain: MarkovChain, states: Sequence[int] | np.ndarray) -> MarkovChain:
+    """The chain *reflected* into ``R``: outgoing mass is added to the diagonal.
+
+    This is the standard "censored at the boundary" construction: inside
+    ``R`` transitions are unchanged, and any probability of leaving ``R`` is
+    turned into staying put.  For a reversible chain the restricted chain is
+    reversible with stationary distribution proportional to ``pi`` on ``R``.
+    """
+    idx = _validate_subset(states, chain.num_states)
+    P = np.asarray(chain.transition_matrix, dtype=float)
+    sub = P[np.ix_(idx, idx)].copy()
+    escape = 1.0 - sub.sum(axis=1)
+    sub[np.arange(idx.size), np.arange(idx.size)] += np.clip(escape, 0.0, None)
+    pi = np.asarray(chain.stationary, dtype=float)[idx]
+    return MarkovChain(sub, stationary=pi / pi.sum())
+
+
+def conditional_stationary(chain: MarkovChain, states: Sequence[int] | np.ndarray) -> np.ndarray:
+    """The stationary distribution conditioned on ``R`` (indexed within ``R``)."""
+    idx = _validate_subset(states, chain.num_states)
+    pi = np.asarray(chain.stationary, dtype=float)[idx]
+    total = float(pi.sum())
+    if total <= 0:
+        raise ValueError("the restriction set has zero stationary mass")
+    return pi / total
+
+
+def quasi_stationary_distribution(
+    chain: MarkovChain,
+    states: Sequence[int] | np.ndarray,
+    tol: float = 1e-12,
+    max_iterations: int = 1_000_000,
+) -> tuple[np.ndarray, float]:
+    """Quasi-stationary distribution and survival rate of the set ``R``.
+
+    Returns ``(nu, rho)`` where ``nu`` is the normalised left Perron
+    eigenvector of the sub-stochastic matrix ``P_R`` (the law of ``X_t``
+    conditioned on ``tau_exit > t``, as ``t`` grows) and ``rho`` is the
+    corresponding eigenvalue — the per-step survival probability, so the
+    expected exit time from quasi-stationarity is ``1 / (1 - rho)``.
+    Computed by power iteration with renormalisation.
+    """
+    idx = _validate_subset(states, chain.num_states)
+    P = np.asarray(chain.transition_matrix, dtype=float)
+    sub = P[np.ix_(idx, idx)]
+    nu = np.full(idx.size, 1.0 / idx.size)
+    rho = 0.0
+    for _ in range(max_iterations):
+        unnorm = nu @ sub
+        new_rho = float(unnorm.sum())
+        if new_rho <= 0:
+            raise ValueError("the set is left in one step from everywhere; no QSD exists")
+        new_nu = unnorm / new_rho
+        if total_variation(new_nu, nu) <= tol and abs(new_rho - rho) <= tol:
+            return new_nu, new_rho
+        nu, rho = new_nu, new_rho
+    return nu, rho
+
+
+def escape_time_from(
+    chain: MarkovChain,
+    states: Sequence[int] | np.ndarray,
+    start_distribution: np.ndarray | None = None,
+) -> float:
+    """Exact expected exit time of ``R`` under a starting distribution on ``R``.
+
+    Solves ``(I - P_R) h = 1`` for the vector of expected exit times and
+    averages it under ``start_distribution`` (defaults to the conditional
+    stationary distribution on ``R``).
+    """
+    idx = _validate_subset(states, chain.num_states)
+    P = np.asarray(chain.transition_matrix, dtype=float)
+    sub = P[np.ix_(idx, idx)]
+    h = np.linalg.solve(np.eye(idx.size) - sub, np.ones(idx.size))
+    if start_distribution is None:
+        start = conditional_stationary(chain, idx)
+    else:
+        start = np.asarray(start_distribution, dtype=float)
+        if start.shape != (idx.size,):
+            raise ValueError("start_distribution must be indexed within R")
+        total = float(start.sum())
+        if total <= 0:
+            raise ValueError("start_distribution must have positive mass")
+        start = start / total
+    return float(start @ h)
+
+
+def pseudo_mixing_time(
+    chain: MarkovChain,
+    states: Sequence[int] | np.ndarray,
+    epsilon: float = 0.25,
+    max_time: int = 10**6,
+) -> int:
+    """Mixing time of the restricted chain — the metastable relaxation time.
+
+    The chain started anywhere inside the well ``R`` reaches the well's
+    conditional stationary distribution within this many steps, even when
+    the *global* mixing time is exponentially larger (because escaping the
+    well is not required).
+    """
+    from ..markov.mixing import mixing_time
+
+    restricted = restricted_chain(chain, states)
+    return mixing_time(restricted, epsilon=epsilon, max_time=max_time).mixing_time
+
+
+def metastable_report(
+    game: Game,
+    beta: float,
+    states: Sequence[int] | np.ndarray,
+    epsilon: float = 0.25,
+) -> dict[str, float]:
+    """Convenience bundle of the metastability quantities for a game and a well.
+
+    Returns a dict with the well's stationary mass, its pseudo-mixing time,
+    the expected escape time from the conditional stationary distribution,
+    the quasi-stationary survival rate, and the ratio escape / pseudo-mixing
+    (a large ratio is the signature of metastability).
+    """
+    dynamics = LogitDynamics(game, beta)
+    chain = dynamics.markov_chain()
+    idx = _validate_subset(states, chain.num_states)
+    mass = float(np.sum(np.asarray(chain.stationary)[idx]))
+    pseudo = pseudo_mixing_time(chain, idx, epsilon=epsilon)
+    escape = escape_time_from(chain, idx)
+    _, survival = quasi_stationary_distribution(chain, idx)
+    return {
+        "stationary_mass": mass,
+        "pseudo_mixing_time": float(pseudo),
+        "expected_escape_time": escape,
+        "qsd_survival_rate": survival,
+        "metastability_ratio": escape / max(float(pseudo), 1.0),
+    }

@@ -1,0 +1,159 @@
+"""Mixing-time measurement drivers for the logit dynamics.
+
+These are the high-level entry points the benchmarks and examples use: give
+them a game and a ``beta`` and they build the logit chain, compute exact or
+estimated convergence quantities, and package the results with the matching
+theoretical bounds where applicable.
+
+Two measurement regimes are supported, mirroring DESIGN.md §6:
+
+* *exact* — for profile spaces small enough to hold the dense transition
+  matrix: exact worst-case total-variation mixing time
+  (:func:`measure_mixing_time`), exact relaxation time
+  (:func:`measure_relaxation_time`) and the Theorem 2.3 sandwich;
+* *Monte Carlo* — for larger spaces: the grand-coupling coalescence-time
+  estimator (:func:`estimate_mixing_time_coupling`), which upper-bounds the
+  mixing time in expectation per Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..games.base import Game
+from ..games.potential import PotentialGame
+from ..markov.coupling import coalescence_time_bound
+from ..markov.mixing import MixingTimeResult, mixing_time
+from ..markov.spectral import SpectralSummary, relaxation_mixing_bounds, spectral_summary
+from .logit import LogitDynamics
+
+__all__ = [
+    "MixingMeasurement",
+    "measure_mixing_time",
+    "measure_relaxation_time",
+    "measure_spectral_summary",
+    "estimate_mixing_time_coupling",
+    "mixing_time_vs_beta",
+    "relaxation_time_vs_beta",
+]
+
+#: Refuse to build dense transition matrices beyond this many profiles.
+MAX_EXACT_PROFILES = 40_000
+
+
+@dataclass(frozen=True)
+class MixingMeasurement:
+    """A measured mixing time together with the chain's basic facts."""
+
+    beta: float
+    num_profiles: int
+    mixing_time: int
+    epsilon: float
+    relaxation_time: float
+    theorem23_lower: float
+    theorem23_upper: float
+    capped: bool
+
+
+def _exact_guard(game: Game) -> None:
+    if game.space.size > MAX_EXACT_PROFILES:
+        raise ValueError(
+            f"profile space has {game.space.size} profiles which exceeds the exact-"
+            f"measurement cap of {MAX_EXACT_PROFILES}; use the coupling estimator instead"
+        )
+
+
+def measure_mixing_time(
+    game: Game,
+    beta: float,
+    epsilon: float = 0.25,
+    max_time: int = 10**7,
+) -> MixingTimeResult:
+    """Exact ``t_mix(eps)`` of the logit dynamics for ``game`` at ``beta``."""
+    _exact_guard(game)
+    dynamics = LogitDynamics(game, beta)
+    return mixing_time(dynamics.markov_chain(), epsilon=epsilon, max_time=max_time)
+
+
+def measure_relaxation_time(game: Game, beta: float) -> float:
+    """Exact relaxation time ``1/(1 - lambda*)`` of the logit chain."""
+    return measure_spectral_summary(game, beta).relaxation_time
+
+
+def measure_spectral_summary(game: Game, beta: float) -> SpectralSummary:
+    """Full eigenvalue summary of the logit chain (requires reversibility)."""
+    _exact_guard(game)
+    dynamics = LogitDynamics(game, beta)
+    return spectral_summary(dynamics.markov_chain())
+
+
+def measure_mixing_with_bounds(
+    game: Game, beta: float, epsilon: float = 0.25, max_time: int = 10**7
+) -> MixingMeasurement:
+    """Exact mixing + relaxation time and the Theorem 2.3 sandwich, in one call."""
+    _exact_guard(game)
+    dynamics = LogitDynamics(game, beta)
+    chain = dynamics.markov_chain()
+    mix = mixing_time(chain, epsilon=epsilon, max_time=max_time)
+    summary = spectral_summary(chain)
+    lower, upper = relaxation_mixing_bounds(chain, epsilon=epsilon)
+    return MixingMeasurement(
+        beta=beta,
+        num_profiles=game.space.size,
+        mixing_time=mix.mixing_time,
+        epsilon=epsilon,
+        relaxation_time=summary.relaxation_time,
+        theorem23_lower=lower,
+        theorem23_upper=upper,
+        capped=mix.capped,
+    )
+
+
+def estimate_mixing_time_coupling(
+    game: Game,
+    beta: float,
+    start_x: Sequence[int],
+    start_y: Sequence[int],
+    horizon: int,
+    num_runs: int = 32,
+    epsilon: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo upper estimate of the mixing time via the grand coupling.
+
+    Simulates the paper's grand coupling from the given pair of starting
+    profiles and returns the empirical ``(1 - eps)``-quantile of the
+    coalescence time (Theorem 2.1).  For a worst-case estimate pick the two
+    profiles expected to be hardest to couple, e.g. the two consensus
+    profiles of a coordination game.
+    """
+    dynamics = LogitDynamics(game, beta)
+    result = dynamics.grand_coupling(
+        start_x=start_x, start_y=start_y, horizon=horizon, num_runs=num_runs, rng=rng
+    )
+    return coalescence_time_bound(result, epsilon=epsilon)
+
+
+def mixing_time_vs_beta(
+    game: Game,
+    betas: Sequence[float],
+    epsilon: float = 0.25,
+    max_time: int = 10**7,
+) -> np.ndarray:
+    """Exact mixing time for each ``beta``; returns ``(len(betas), 2)`` array."""
+    rows = []
+    for beta in betas:
+        result = measure_mixing_time(game, float(beta), epsilon=epsilon, max_time=max_time)
+        rows.append((float(beta), float(result.mixing_time)))
+    return np.array(rows, dtype=float)
+
+
+def relaxation_time_vs_beta(game: Game, betas: Sequence[float]) -> np.ndarray:
+    """Exact relaxation time for each ``beta``; returns ``(len(betas), 2)``."""
+    rows = []
+    for beta in betas:
+        rows.append((float(beta), measure_relaxation_time(game, float(beta))))
+    return np.array(rows, dtype=float)

@@ -1,0 +1,276 @@
+"""Variants of the logit dynamics discussed in the paper's conclusions.
+
+Section 6 of the paper points at several natural variations of the one-
+player-at-a-time logit dynamics; this module makes them executable so that
+the package can be used to explore them empirically:
+
+* :class:`ParallelLogitDynamics` — *all* players update simultaneously, each
+  through her own logit rule.  The resulting chain is still ergodic but in
+  general it is **not** reversible and its stationary distribution is not
+  the Gibbs measure; for coordination games it can even concentrate on
+  miscoordinated profiles (the well-known "parallel trap").  The special
+  case ``beta = infinity`` is the parallel best-response dynamics of Nisan,
+  Schapira and Zohar cited in the paper.
+* :class:`BestResponseDynamics` — the ``beta -> infinity`` limit of the
+  (sequential) logit dynamics: the selected player moves to a uniformly
+  random best response.  The chain is absorbing at strict pure Nash
+  equilibria and is the classical comparison point for the logit dynamics.
+* :class:`AnnealedLogitDynamics` — a time-varying ``beta_t`` schedule
+  (players "learn" the game as time progresses, as the conclusions suggest).
+  This is a time-inhomogeneous chain, so it exposes step-by-step simulation
+  and distribution evolution rather than a single transition matrix.
+* :class:`RoundRobinLogitDynamics` — players update in a fixed cyclic order
+  instead of being selected uniformly at random; one "round" of n updates is
+  a single transition matrix, which makes the variant easy to compare
+  against n steps of the standard dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..games.base import Game
+from ..markov.chain import MarkovChain
+from .logit import LogitDynamics, logit_update_distribution
+
+__all__ = [
+    "ParallelLogitDynamics",
+    "BestResponseDynamics",
+    "AnnealedLogitDynamics",
+    "RoundRobinLogitDynamics",
+]
+
+
+class ParallelLogitDynamics:
+    """All players revise simultaneously, each with the logit rule.
+
+    One step from profile ``x`` draws, independently for every player ``i``,
+    a new strategy from ``sigma_i(. | x)``; the next profile is the vector
+    of draws.  Transition probabilities therefore factorise as
+    ``P(x, y) = prod_i sigma_i(y_i | x)`` and the transition matrix is dense
+    (every profile can reach every other in one step), so the exact machinery
+    is limited to small games; the simulator has no such limit.
+    """
+
+    def __init__(self, game: Game, beta: float):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.game = game
+        self.beta = float(beta)
+        self._matrix: np.ndarray | None = None
+
+    def update_distribution(self, profile_index: int, player: int) -> np.ndarray:
+        """Per-player logit update distribution (same rule as the sequential chain)."""
+        utilities = self.game.utility_deviations(player, profile_index)
+        return logit_update_distribution(utilities, self.beta)
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense ``(|S|, |S|)`` transition matrix ``P(x, y) = prod_i sigma_i(y_i | x)``."""
+        if self._matrix is None:
+            space = self.game.space
+            size = space.size
+            # P starts as all-ones and is multiplied by one factor per player.
+            P = np.ones((size, size), dtype=float)
+            target = space.all_profiles()  # (|S|, n): strategy of each player in y
+            for player in range(space.num_players):
+                devs = space.deviation_matrix(player)
+                utilities = self.game.utility_matrix(player)[devs]
+                probs = logit_update_distribution(utilities, self.beta)  # (|S|, m_i)
+                # factor[x, y] = sigma_player(y_player | x)
+                P *= probs[:, target[:, player]]
+            self._matrix = P
+        return self._matrix
+
+    def markov_chain(self) -> MarkovChain:
+        """The parallel chain (stationary distribution computed numerically)."""
+        return MarkovChain(self.transition_matrix())
+
+    def simulate(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Simulate the synchronous dynamics; returns ``(num_steps + 1, n)`` profiles."""
+        rng = np.random.default_rng() if rng is None else rng
+        space = self.game.space
+        profile = np.asarray(start, dtype=np.int64).copy()
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        out = np.empty((num_steps + 1, space.num_players), dtype=np.int64)
+        out[0] = profile
+        for t in range(num_steps):
+            idx = space.encode(profile)
+            new = np.empty_like(profile)
+            for player in range(space.num_players):
+                probs = self.update_distribution(idx, player)
+                new[player] = rng.choice(probs.size, p=probs)
+            profile = new
+            out[t + 1] = profile
+        return out
+
+
+class BestResponseDynamics:
+    """The ``beta -> infinity`` limit: the selected player best-responds.
+
+    The selected player moves to a strategy drawn uniformly from her set of
+    best responses to the current opponents' strategies (ties are kept, so
+    the chain is well-defined even with indifferences).  Strict pure Nash
+    equilibria are absorbing states; the chain is generally *not* ergodic,
+    which is exactly the contrast with the logit dynamics the paper draws in
+    the introduction.
+    """
+
+    def __init__(self, game: Game, tie_tolerance: float = 1e-12):
+        self.game = game
+        self.tie_tolerance = float(tie_tolerance)
+
+    def update_distribution(self, profile_index: int, player: int) -> np.ndarray:
+        """Uniform distribution over the player's best responses."""
+        utilities = self.game.utility_deviations(player, profile_index)
+        best = utilities >= np.max(utilities) - self.tie_tolerance
+        probs = best.astype(float)
+        return probs / probs.sum()
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense transition matrix of the (sequential) best-response chain."""
+        space = self.game.space
+        n = space.num_players
+        size = space.size
+        P = np.zeros((size, size), dtype=float)
+        rows = np.arange(size, dtype=np.int64)
+        for player in range(n):
+            devs = space.deviation_matrix(player)
+            utilities = self.game.utility_matrix(player)[devs]
+            best = utilities >= np.max(utilities, axis=1, keepdims=True) - self.tie_tolerance
+            probs = best.astype(float)
+            probs /= probs.sum(axis=1, keepdims=True)
+            np.add.at(P, (rows[:, None], devs), probs / n)
+        return P
+
+    def markov_chain(self) -> MarkovChain:
+        """The best-response chain (may be non-ergodic; absorbing at strict PNE)."""
+        return MarkovChain(self.transition_matrix())
+
+    def absorbing_profiles(self) -> np.ndarray:
+        """Profile indices that are fixed points of the best-response chain."""
+        P = self.transition_matrix()
+        return np.flatnonzero(np.isclose(np.diag(P), 1.0))
+
+    def is_limit_of_logit(self, beta: float = 200.0, atol: float = 1e-6) -> bool:
+        """Numerically check that a very high-beta logit chain matches this chain.
+
+        Only meaningful for games without payoff ties (where the limit is
+        unambiguous); used by the tests as a consistency check.
+        """
+        logit = LogitDynamics(self.game, beta)
+        return bool(np.allclose(logit.transition_matrix(), self.transition_matrix(), atol=atol))
+
+
+class AnnealedLogitDynamics:
+    """Logit dynamics with a time-varying inverse noise ``beta_t``.
+
+    ``schedule(t)`` returns the beta used for the update at step ``t``
+    (``t = 0, 1, ...``).  The chain is time-inhomogeneous, so there is no
+    single transition matrix; instead we expose per-step matrices, exact
+    distribution evolution, and trajectory simulation.  A logarithmic
+    schedule ``beta_t = log(1 + t) / c`` is the classical simulated-annealing
+    choice that concentrates the dynamics on potential minimisers.
+    """
+
+    def __init__(self, game: Game, schedule: Callable[[int], float]):
+        self.game = game
+        self.schedule = schedule
+
+    def beta_at(self, step: int) -> float:
+        """The inverse noise used for the update at the given step."""
+        beta = float(self.schedule(int(step)))
+        if beta < 0 or not np.isfinite(beta):
+            raise ValueError(f"schedule produced an invalid beta {beta} at step {step}")
+        return beta
+
+    def transition_matrix_at(self, step: int) -> np.ndarray:
+        """The one-step transition matrix in force at the given step."""
+        return LogitDynamics(self.game, self.beta_at(step)).transition_matrix()
+
+    def evolve_distribution(self, distribution: np.ndarray, num_steps: int) -> np.ndarray:
+        """Exact distribution after ``num_steps`` annealed updates."""
+        mu = np.asarray(distribution, dtype=float)
+        if mu.shape != (self.game.space.size,):
+            raise ValueError("distribution has wrong length")
+        for t in range(int(num_steps)):
+            mu = mu @ self.transition_matrix_at(t)
+        return mu
+
+    def simulate(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Simulate the annealed dynamics; returns ``(num_steps + 1, n)`` profiles."""
+        rng = np.random.default_rng() if rng is None else rng
+        space = self.game.space
+        profile = np.asarray(start, dtype=np.int64).copy()
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        out = np.empty((num_steps + 1, space.num_players), dtype=np.int64)
+        out[0] = profile
+        for t in range(num_steps):
+            beta = self.beta_at(t)
+            player = int(rng.integers(0, space.num_players))
+            idx = space.encode(profile)
+            utilities = self.game.utility_deviations(player, idx)
+            probs = logit_update_distribution(utilities, beta)
+            profile[player] = rng.choice(probs.size, p=probs)
+            out[t + 1] = profile
+        return out
+
+    @staticmethod
+    def logarithmic_schedule(scale: float = 1.0, offset: float = 1.0) -> Callable[[int], float]:
+        """``beta_t = log(offset + t) / scale`` — the classical annealing schedule."""
+        if scale <= 0 or offset <= 0:
+            raise ValueError("scale and offset must be positive")
+        return lambda t: float(np.log(offset + t) / scale)
+
+
+class RoundRobinLogitDynamics:
+    """Players update in a fixed cyclic order 0, 1, ..., n-1, 0, ...
+
+    One *round* applies each player's logit update once, in order; the
+    corresponding transition matrix is the product of the n single-player
+    update matrices.  Comparing one round against n steps of the standard
+    (uniform-selection) dynamics isolates the effect of the player-selection
+    rule, one of the variations the paper's conclusions raise.
+    """
+
+    def __init__(self, game: Game, beta: float):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.game = game
+        self.beta = float(beta)
+
+    def player_step_matrix(self, player: int) -> np.ndarray:
+        """Transition matrix of a single forced update of ``player``."""
+        space = self.game.space
+        size = space.size
+        devs = space.deviation_matrix(player)
+        utilities = self.game.utility_matrix(player)[devs]
+        probs = logit_update_distribution(utilities, self.beta)
+        P = np.zeros((size, size), dtype=float)
+        rows = np.arange(size, dtype=np.int64)
+        np.add.at(P, (rows[:, None], devs), probs)
+        return P
+
+    def round_transition_matrix(self) -> np.ndarray:
+        """Transition matrix of one full round (all players once, in order)."""
+        P = np.eye(self.game.space.size)
+        for player in range(self.game.num_players):
+            P = P @ self.player_step_matrix(player)
+        return P
+
+    def markov_chain(self) -> MarkovChain:
+        """The round-level chain (one step = one full round of updates)."""
+        return MarkovChain(self.round_transition_matrix())

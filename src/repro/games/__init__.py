@@ -1,0 +1,111 @@
+"""Strategic-game substrate for the logit-dynamics reproduction.
+
+Exports the profile-space machinery, the game base classes, potential
+games, the paper's coordination / dominant-strategy / lower-bound
+constructions, congestion games and the Ising model.
+"""
+
+from .base import (
+    CallableGame,
+    Game,
+    NormalFormGame,
+    TableGame,
+    best_responses,
+    pure_nash_equilibria,
+    random_game,
+)
+from .constructions import (
+    BirthDeathPotentialGame,
+    Theorem35Game,
+    TwoWellGame,
+    theorem35_potential,
+    weight_potential_game,
+)
+from .coordination import (
+    CoordinationParams,
+    GraphicalCoordinationGame,
+    TwoPlayerCoordinationGame,
+    basic_coordination_payoffs,
+)
+from .congestion import CongestionGame, SingletonCongestionGame, linear_delays
+from .dominant import (
+    AnonymousDominantGame,
+    dominant_profile,
+    dominant_strategies,
+    has_dominant_profile,
+    random_dominant_game,
+)
+from .maxsolvable import (
+    MaxSolvableResult,
+    is_max_solvable,
+    max_solve,
+    never_best_response_strategies,
+)
+from .ising import (
+    IsingGame,
+    glauber_update_probability,
+    ising_hamiltonian,
+    profile_from_spins,
+    spins_from_profile,
+)
+from .potential import (
+    ExplicitPotentialGame,
+    PotentialGame,
+    is_potential_game,
+    local_variations,
+    max_global_variation,
+    max_local_variation,
+    minimax_barrier_matrix,
+    potential_from_game,
+    zeta_barrier,
+    zeta_barrier_bruteforce,
+)
+from .space import ProfileSpace, hamming_distance
+
+__all__ = [
+    "MaxSolvableResult",
+    "is_max_solvable",
+    "max_solve",
+    "never_best_response_strategies",
+    "CallableGame",
+    "Game",
+    "NormalFormGame",
+    "TableGame",
+    "best_responses",
+    "pure_nash_equilibria",
+    "random_game",
+    "BirthDeathPotentialGame",
+    "Theorem35Game",
+    "TwoWellGame",
+    "theorem35_potential",
+    "weight_potential_game",
+    "CoordinationParams",
+    "GraphicalCoordinationGame",
+    "TwoPlayerCoordinationGame",
+    "basic_coordination_payoffs",
+    "CongestionGame",
+    "SingletonCongestionGame",
+    "linear_delays",
+    "AnonymousDominantGame",
+    "dominant_profile",
+    "dominant_strategies",
+    "has_dominant_profile",
+    "random_dominant_game",
+    "IsingGame",
+    "glauber_update_probability",
+    "ising_hamiltonian",
+    "profile_from_spins",
+    "spins_from_profile",
+    "ExplicitPotentialGame",
+    "PotentialGame",
+    "is_potential_game",
+    "local_variations",
+    "max_global_variation",
+    "max_local_variation",
+    "minimax_barrier_matrix",
+    "potential_from_game",
+    "zeta_barrier",
+    "zeta_barrier_bruteforce",
+    "ProfileSpace",
+    "hamming_distance",
+]

@@ -1,0 +1,239 @@
+"""Strategic-game base classes.
+
+The paper works with finite strategic games ``G = (N, (S_i), (u_i))``: a
+finite set of players, a finite strategy set per player, and a utility
+function per player mapping profiles to reals.  The classes here give the
+package a uniform, array-oriented representation:
+
+* :class:`Game` — the abstract interface every game implements.  The key
+  method is :meth:`Game.utility_deviations`, which returns, for a profile
+  ``x`` and a player ``i``, the vector ``(u_i(s, x_-i))_{s in S_i}``; this
+  is exactly what the logit update rule (Equation 2 of the paper) needs.
+* :class:`TableGame` — a dense normal-form game backed by per-player
+  utility tensors, convenient for small examples and for random games.
+* :class:`NormalFormGame` — alias of :class:`TableGame` with a
+  two-player-friendly constructor.
+
+All games expose a :class:`~repro.games.space.ProfileSpace` so downstream
+code (transition matrices, stationary distributions, mixing measurement)
+can operate on flat profile indices with vectorised numpy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .space import ProfileSpace
+
+__all__ = [
+    "Game",
+    "TableGame",
+    "NormalFormGame",
+    "CallableGame",
+    "random_game",
+    "best_responses",
+    "pure_nash_equilibria",
+]
+
+
+class Game(abc.ABC):
+    """Abstract finite strategic game.
+
+    Subclasses must provide :attr:`space` and :meth:`utility`.  The default
+    implementations of the bulk methods (:meth:`utility_deviations`,
+    :meth:`utility_matrix`) fall back to per-profile calls; performance
+    sensitive subclasses override them with vectorised versions.
+    """
+
+    #: Profile space of the game (set by subclasses).
+    space: ProfileSpace
+
+    @property
+    def num_players(self) -> int:
+        """Number of players."""
+        return self.space.num_players
+
+    @property
+    def num_strategies(self) -> tuple[int, ...]:
+        """Tuple ``(m_1, ..., m_n)`` of per-player strategy counts."""
+        return self.space.num_strategies
+
+    @property
+    def max_strategies(self) -> int:
+        """``m`` — maximum number of strategies of any player."""
+        return self.space.max_strategies
+
+    # -- core interface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def utility(self, player: int, profile_index: int) -> float:
+        """Utility ``u_player(x)`` of the profile with the given index."""
+
+    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
+        """Vector ``(u_player(s, x_-i))_s`` over the player's strategies."""
+        devs = self.space.deviations(profile_index, player)
+        return np.array([self.utility(player, int(d)) for d in devs], dtype=float)
+
+    def utility_matrix(self, player: int) -> np.ndarray:
+        """Full utility vector of ``player`` indexed by profile index."""
+        return np.array(
+            [self.utility(player, x) for x in range(self.space.size)], dtype=float
+        )
+
+    def utility_profile(self, profile: Sequence[int]) -> np.ndarray:
+        """Utilities of *all* players at a profile given as a tuple."""
+        idx = self.space.encode(profile)
+        return np.array([self.utility(i, idx) for i in range(self.num_players)])
+
+    # -- convenience ------------------------------------------------------
+
+    def is_best_response(self, player: int, profile_index: int) -> bool:
+        """Whether ``player``'s strategy in the profile is a best response."""
+        utils = self.utility_deviations(player, profile_index)
+        current = self.space.strategy_of(profile_index, player)
+        return bool(utils[current] >= np.max(utils) - 1e-12)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(players={self.num_players}, strategies={self.num_strategies})"
+
+
+class TableGame(Game):
+    """Normal-form game stored as dense per-player utility arrays.
+
+    Parameters
+    ----------
+    num_strategies:
+        Per-player strategy counts.
+    utilities:
+        Array of shape ``(n, |S|)``; ``utilities[i, x]`` is ``u_i`` at the
+        profile with index ``x`` (see :class:`~repro.games.space.ProfileSpace`
+        for the indexing convention).
+    """
+
+    def __init__(self, num_strategies: Sequence[int], utilities: np.ndarray):
+        self.space = ProfileSpace(num_strategies)
+        utilities = np.asarray(utilities, dtype=float)
+        expected = (self.space.num_players, self.space.size)
+        if utilities.shape != expected:
+            raise ValueError(
+                f"utilities must have shape {expected}, got {utilities.shape}"
+            )
+        if not np.all(np.isfinite(utilities)):
+            raise ValueError("utilities must be finite")
+        self._utilities = utilities
+
+    @classmethod
+    def from_function(
+        cls,
+        num_strategies: Sequence[int],
+        utility_fn: Callable[[int, tuple[int, ...]], float],
+    ) -> "TableGame":
+        """Tabulate a game from ``utility_fn(player, profile_tuple)``."""
+        space = ProfileSpace(num_strategies)
+        utilities = np.empty((space.num_players, space.size), dtype=float)
+        for x in range(space.size):
+            prof = space.decode(x)
+            for i in range(space.num_players):
+                utilities[i, x] = utility_fn(i, prof)
+        return cls(num_strategies, utilities)
+
+    def utility(self, player: int, profile_index: int) -> float:
+        return float(self._utilities[player, profile_index])
+
+    def utility_matrix(self, player: int) -> np.ndarray:
+        return self._utilities[player].copy()
+
+    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
+        devs = self.space.deviations(profile_index, player)
+        return self._utilities[player, devs]
+
+    @property
+    def utilities(self) -> np.ndarray:
+        """The full ``(n, |S|)`` utility array (read-only view)."""
+        view = self._utilities.view()
+        view.flags.writeable = False
+        return view
+
+
+class NormalFormGame(TableGame):
+    """Two-player normal-form game built from a pair of payoff matrices.
+
+    ``payoff_row[a, b]`` is the row player's utility when the row player
+    plays ``a`` and the column player plays ``b``; ``payoff_col[a, b]`` is
+    the column player's.  Player 0 is the row player.
+    """
+
+    def __init__(self, payoff_row: np.ndarray, payoff_col: np.ndarray):
+        payoff_row = np.asarray(payoff_row, dtype=float)
+        payoff_col = np.asarray(payoff_col, dtype=float)
+        if payoff_row.shape != payoff_col.shape or payoff_row.ndim != 2:
+            raise ValueError("payoff matrices must be 2-D and of identical shape")
+        m_row, m_col = payoff_row.shape
+        space = ProfileSpace((m_row, m_col))
+        utilities = np.empty((2, space.size), dtype=float)
+        for x in range(space.size):
+            a, b = space.decode(x)
+            utilities[0, x] = payoff_row[a, b]
+            utilities[1, x] = payoff_col[a, b]
+        super().__init__((m_row, m_col), utilities)
+        self.payoff_row = payoff_row.copy()
+        self.payoff_col = payoff_col.copy()
+
+
+class CallableGame(Game):
+    """Game whose utilities are computed on demand from a callable.
+
+    Useful for games whose profile space is too large to tabulate but whose
+    utilities have a cheap closed form (e.g. graphical games evaluated
+    during Monte-Carlo simulation).  ``utility_fn(player, profile_tuple)``
+    must be a pure function.
+    """
+
+    def __init__(
+        self,
+        num_strategies: Sequence[int],
+        utility_fn: Callable[[int, tuple[int, ...]], float],
+    ):
+        self.space = ProfileSpace(num_strategies)
+        self._fn = utility_fn
+
+    def utility(self, player: int, profile_index: int) -> float:
+        return float(self._fn(player, self.space.decode(profile_index)))
+
+
+def random_game(
+    num_strategies: Sequence[int],
+    rng: np.random.Generator | None = None,
+    low: float = -1.0,
+    high: float = 1.0,
+) -> TableGame:
+    """A game with i.i.d. uniform utilities — useful for fuzzing the toolkit."""
+    rng = np.random.default_rng() if rng is None else rng
+    space = ProfileSpace(num_strategies)
+    utilities = rng.uniform(low, high, size=(space.num_players, space.size))
+    return TableGame(num_strategies, utilities)
+
+
+def best_responses(game: Game, player: int, profile_index: int, tol: float = 1e-12) -> np.ndarray:
+    """Strategies of ``player`` that are best responses to ``x_-i``."""
+    utils = game.utility_deviations(player, profile_index)
+    return np.flatnonzero(utils >= np.max(utils) - tol)
+
+
+def pure_nash_equilibria(game: Game, tol: float = 1e-12) -> list[int]:
+    """Profile indices of all pure Nash equilibria of the game.
+
+    Exhaustive check — only sensible for tabulated games of modest size.
+    """
+    equilibria = []
+    for x in range(game.space.size):
+        if all(
+            game.utility_deviations(i, x)[game.space.strategy_of(x, i)]
+            >= np.max(game.utility_deviations(i, x)) - tol
+            for i in range(game.num_players)
+        ):
+            equilibria.append(x)
+    return equilibria

@@ -1,0 +1,136 @@
+"""Congestion games (Rosenthal) — a canonical family of potential games.
+
+The paper cites congestion games as the motivating class of potential games
+studied by Asadpour and Saberi for hitting times.  We implement singleton
+congestion games (each strategy is a single resource) and general
+resource-subset congestion games with per-resource delay functions, and
+expose the Rosenthal potential, which makes them exact potential games and
+therefore in scope for Theorems 3.4, 3.6, 3.8 and 3.9.
+
+Sign convention: players experience *costs* (delays), so their utility is
+minus the total delay, and the Rosenthal potential is
+``Phi(x) = sum_r sum_{k=1}^{n_r(x)} d_r(k)`` which *decreases* along
+improving deviations, matching Equation (1) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .potential import PotentialGame
+from .space import ProfileSpace
+
+__all__ = ["CongestionGame", "SingletonCongestionGame", "linear_delays"]
+
+
+def linear_delays(num_resources: int, slope: float = 1.0, offset: float = 0.0) -> list[Callable[[int], float]]:
+    """Per-resource linear delay functions ``d_r(k) = slope * k + offset``."""
+    return [lambda k, s=slope, o=offset: s * k + o for _ in range(num_resources)]
+
+
+class CongestionGame(PotentialGame):
+    """General congestion game with resource subsets as strategies.
+
+    Parameters
+    ----------
+    strategies:
+        ``strategies[i][s]`` is the set (iterable) of resource indices used
+        by player ``i`` when playing her ``s``-th strategy.
+    delays:
+        One callable per resource: ``delays[r](k)`` is the delay of resource
+        ``r`` when ``k`` players use it.  Must be defined for
+        ``k = 1..n``.
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[Sequence[Sequence[int]]],
+        delays: Sequence[Callable[[int], float]],
+    ):
+        num_players = len(strategies)
+        if num_players == 0:
+            raise ValueError("need at least one player")
+        num_resources = len(delays)
+        self._strategy_resources = [
+            [np.asarray(sorted(set(res)), dtype=np.int64) for res in player_strats]
+            for player_strats in strategies
+        ]
+        for player_strats in self._strategy_resources:
+            if len(player_strats) == 0:
+                raise ValueError("every player needs at least one strategy")
+            for res in player_strats:
+                if res.size and (res.min() < 0 or res.max() >= num_resources):
+                    raise ValueError("resource index out of range")
+        self.num_resources = num_resources
+        self.delays = list(delays)
+        self.space = ProfileSpace(tuple(len(p) for p in self._strategy_resources))
+        self._utilities, self._phi = self._tabulate()
+
+    # -- tabulation --------------------------------------------------------
+
+    def _resource_loads(self, profile: tuple[int, ...]) -> np.ndarray:
+        loads = np.zeros(self.num_resources, dtype=np.int64)
+        for player, strategy in enumerate(profile):
+            loads[self._strategy_resources[player][strategy]] += 1
+        return loads
+
+    def _tabulate(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.num_players
+        size = self.space.size
+        utilities = np.zeros((n, size), dtype=float)
+        phi = np.zeros(size, dtype=float)
+        # Precompute cumulative delay sums D_r(k) = sum_{j<=k} d_r(j)
+        max_load = n
+        delay_table = np.zeros((self.num_resources, max_load + 1), dtype=float)
+        for r, d in enumerate(self.delays):
+            for k in range(1, max_load + 1):
+                delay_table[r, k] = d(k)
+        cumulative = np.cumsum(delay_table, axis=1)
+        for x in range(size):
+            profile = self.space.decode(x)
+            loads = self._resource_loads(profile)
+            phi[x] = float(np.sum(cumulative[np.arange(self.num_resources), loads]))
+            for player, strategy in enumerate(profile):
+                res = self._strategy_resources[player][strategy]
+                cost = float(np.sum(delay_table[res, loads[res]]))
+                utilities[player, x] = -cost
+        return utilities, phi
+
+    # -- Game / PotentialGame interface ------------------------------------
+
+    def utility(self, player: int, profile_index: int) -> float:
+        return float(self._utilities[player, profile_index])
+
+    def utility_matrix(self, player: int) -> np.ndarray:
+        return self._utilities[player].copy()
+
+    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
+        devs = self.space.deviations(profile_index, player)
+        return self._utilities[player, devs]
+
+    def potential_vector(self) -> np.ndarray:
+        return self._phi.copy()
+
+
+class SingletonCongestionGame(CongestionGame):
+    """Congestion game where every strategy is a single resource.
+
+    Every player chooses one of ``num_resources`` resources; all players
+    share the same strategy set.  This is the load-balancing game studied
+    by Asadpour and Saberi (cited in the paper's related work).
+    """
+
+    def __init__(
+        self,
+        num_players: int,
+        num_resources: int,
+        delays: Sequence[Callable[[int], float]] | None = None,
+    ):
+        if delays is None:
+            delays = linear_delays(num_resources)
+        if len(delays) != num_resources:
+            raise ValueError("need exactly one delay function per resource")
+        strategies = [[[r] for r in range(num_resources)] for _ in range(num_players)]
+        super().__init__(strategies, delays)

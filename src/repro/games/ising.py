@@ -1,0 +1,152 @@
+"""The Ising model as a graphical coordination game (Glauber dynamics).
+
+Section 5 of the paper notes that the Ising model is the special graphical
+coordination game *without* risk-dominant equilibria (``delta0 = delta1``),
+and that the Glauber dynamics on the Ising model coincides with the logit
+dynamics of that game.  This module makes the correspondence executable:
+
+* :class:`IsingGame` — the graphical coordination game with
+  ``delta0 = delta1 = 2 * J`` on an arbitrary interaction graph, plus an
+  optional external field ``h`` (a per-player bonus for playing spin ``+1``)
+  that maps to an extra linear term in the potential;
+* :func:`ising_hamiltonian` — the usual physics Hamiltonian
+  ``H(sigma) = -J sum_{(u,v)} sigma_u sigma_v - h sum_u sigma_u`` over spins
+  ``sigma in {-1, +1}^n``;
+* :func:`spins_from_profile` / :func:`profile_from_spins` — the 0/1 <-> ±1
+  mapping;
+* :func:`glauber_update_probability` — the heat-bath update rule, equal to
+  the logit update probability of the corresponding game.
+
+The correspondence (up to an additive constant in the potential, which the
+Gibbs measure ignores) is ``Phi(x) = H(sigma(x)) / 1`` with
+``delta = 2 * J``: flipping a spin changes ``H`` by ``2 J (#disagreeing -
+#agreeing neighbors)`` and changes the game potential by exactly the same
+amount.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .coordination import CoordinationParams, GraphicalCoordinationGame
+from .potential import ExplicitPotentialGame
+from .space import ProfileSpace
+
+__all__ = [
+    "IsingGame",
+    "ising_hamiltonian",
+    "spins_from_profile",
+    "profile_from_spins",
+    "glauber_update_probability",
+]
+
+
+def spins_from_profile(profile: np.ndarray) -> np.ndarray:
+    """Map strategies in ``{0, 1}`` to spins in ``{-1, +1}`` (1 -> +1)."""
+    arr = np.asarray(profile)
+    return 2 * arr - 1
+
+
+def profile_from_spins(spins: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`spins_from_profile`."""
+    arr = np.asarray(spins)
+    return ((arr + 1) // 2).astype(np.int64)
+
+
+def ising_hamiltonian(
+    graph: nx.Graph, spins: np.ndarray, coupling: float = 1.0, field: float = 0.0
+) -> float:
+    """Ising energy ``H = -J * sum_edges s_u s_v - h * sum_u s_u``."""
+    spins = np.asarray(spins, dtype=float)
+    nodes = sorted(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    pair_sum = sum(spins[index[u]] * spins[index[v]] for u, v in graph.edges())
+    return float(-coupling * pair_sum - field * np.sum(spins))
+
+
+def glauber_update_probability(
+    local_field: float, beta: float
+) -> float:
+    """Heat-bath probability of setting a spin to ``+1``.
+
+    ``local_field = J * sum_{v ~ u} sigma_v + h`` is the effective field at
+    the updated site; the Glauber rule sets the spin to ``+1`` with
+    probability ``1 / (1 + exp(-2 beta local_field))``, which coincides with
+    the logit update probability of the corresponding coordination game.
+    """
+    return float(1.0 / (1.0 + np.exp(-2.0 * beta * local_field)))
+
+
+class IsingGame(ExplicitPotentialGame):
+    """Graphical coordination game equivalent to the Ising model.
+
+    Parameters
+    ----------
+    graph:
+        Interaction graph (players = nodes).
+    coupling:
+        Ferromagnetic coupling ``J > 0``; the equivalent coordination game
+        has ``delta0 = delta1 = 2 J``.
+    field:
+        External field ``h``; ``h > 0`` favours strategy 1 (spin ``+1``),
+        breaking the symmetry between the two consensus profiles the way a
+        risk-dominant equilibrium would.
+
+    Notes
+    -----
+    The potential used is exactly the Hamiltonian evaluated on the ±1 spins
+    of each profile, so ``pi(x) ∝ exp(-beta H(sigma(x)))`` is the textbook
+    Gibbs distribution of the Ising model and the logit dynamics is the
+    single-site heat-bath (Glauber) dynamics.
+    """
+
+    def __init__(self, graph: nx.Graph, coupling: float = 1.0, field: float = 0.0):
+        if coupling <= 0:
+            raise ValueError("coupling J must be positive (ferromagnetic)")
+        nodes = sorted(graph.nodes())
+        relabel = {node: i for i, node in enumerate(nodes)}
+        self.graph = nx.relabel_nodes(graph, relabel, copy=True)
+        self.coupling = float(coupling)
+        self.field = float(field)
+        n = self.graph.number_of_nodes()
+        space = ProfileSpace((2,) * n)
+        profiles = space.all_profiles()
+        spins = spins_from_profile(profiles).astype(float)  # (|S|, n)
+        phi = np.zeros(space.size, dtype=float)
+        for u, v in self.graph.edges():
+            phi -= self.coupling * spins[:, u] * spins[:, v]
+        phi -= self.field * spins.sum(axis=1)
+        # Utilities: player u's utility is J * sum_{v~u} s_u s_v + h * s_u so
+        # that a unilateral flip changes utility by minus the potential change.
+        utilities = np.zeros((n, space.size), dtype=float)
+        for u in range(n):
+            neighbor_sum = np.zeros(space.size, dtype=float)
+            for v in self.graph.neighbors(u):
+                neighbor_sum += spins[:, v]
+            utilities[u] = self.coupling * spins[:, u] * neighbor_sum + self.field * spins[:, u]
+        super().__init__((2,) * n, utilities, phi)
+
+    @classmethod
+    def as_coordination_game(
+        cls, graph: nx.Graph, coupling: float = 1.0
+    ) -> GraphicalCoordinationGame:
+        """The same model expressed as a :class:`GraphicalCoordinationGame`.
+
+        The potential differs from the Ising Hamiltonian by an additive
+        constant per edge (the coordination-game potential is 0 on
+        disagreeing edges and ``-2J`` on agreeing ones, the Hamiltonian is
+        ``+J`` / ``-J``), so both define the same Gibbs measure and the same
+        logit dynamics.
+        """
+        params = CoordinationParams.ising(2.0 * coupling)
+        return GraphicalCoordinationGame(graph, params)
+
+    def magnetization(self, profile_index: int) -> float:
+        """Average spin ``(1/n) sum_u sigma_u`` of the profile."""
+        prof = np.asarray(self.space.decode(profile_index))
+        return float(np.mean(spins_from_profile(prof)))
+
+    def energy(self, profile_index: int) -> float:
+        """Hamiltonian value of the profile (same as the game potential)."""
+        return self.potential(profile_index)

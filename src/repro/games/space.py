@@ -1,0 +1,273 @@
+"""Profile-space machinery: mixed-radix indexing of strategy profiles.
+
+A strategic game with ``n`` players, player ``i`` having ``m_i`` strategies,
+has a profile space ``S = S_1 x ... x S_n`` of size ``prod_i m_i``.  All
+heavy code in this package works with *profile indices* (integers in
+``range(|S|)``) rather than tuples, so that transition matrices, potentials
+and stationary distributions are plain numpy arrays indexed by profile.
+
+``ProfileSpace`` provides the vectorised encode/decode machinery plus the
+Hamming-graph structure over profiles (neighbors differing in one
+coordinate), which the paper uses both for the dynamics itself (a logit step
+moves along a Hamming edge or stays put) and for proof constructions
+(canonical paths, bottleneck separators, cutwidth orderings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ProfileSpace", "hamming_distance"]
+
+
+def hamming_distance(x: Sequence[int], y: Sequence[int]) -> int:
+    """Number of coordinates in which the two profiles differ."""
+    x_arr = np.asarray(x)
+    y_arr = np.asarray(y)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError(
+            f"profiles must have equal length, got {x_arr.shape} and {y_arr.shape}"
+        )
+    return int(np.count_nonzero(x_arr != y_arr))
+
+
+@dataclass(frozen=True)
+class ProfileSpace:
+    """Mixed-radix index space over strategy profiles.
+
+    Parameters
+    ----------
+    num_strategies:
+        Sequence ``(m_1, ..., m_n)`` with the number of strategies of each
+        player.  Every ``m_i`` must be at least 1 (players with a single
+        strategy are allowed; they simply never change anything).
+
+    Notes
+    -----
+    Profiles are encoded in *little-endian* mixed radix: profile
+    ``x = (x_1, ..., x_n)`` maps to ``sum_i x_i * radix_i`` where
+    ``radix_1 = 1`` and ``radix_{i+1} = radix_i * m_i``.  The encoding is a
+    bijection between tuples and ``range(size)``.
+    """
+
+    num_strategies: tuple[int, ...]
+    _radices: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __init__(self, num_strategies: Iterable[int]):
+        ms = tuple(int(m) for m in num_strategies)
+        if len(ms) == 0:
+            raise ValueError("a game needs at least one player")
+        if any(m < 1 for m in ms):
+            raise ValueError(f"every player needs at least one strategy, got {ms}")
+        object.__setattr__(self, "num_strategies", ms)
+        radices = np.ones(len(ms), dtype=np.int64)
+        for i in range(1, len(ms)):
+            radices[i] = radices[i - 1] * ms[i - 1]
+        object.__setattr__(self, "_radices", radices)
+
+    # -- basic shape ------------------------------------------------------
+
+    @property
+    def num_players(self) -> int:
+        """Number of players ``n``."""
+        return len(self.num_strategies)
+
+    @property
+    def size(self) -> int:
+        """Total number of strategy profiles ``|S|``."""
+        return int(np.prod(np.asarray(self.num_strategies, dtype=np.int64)))
+
+    @property
+    def max_strategies(self) -> int:
+        """``m = max_i |S_i|`` as used in the paper's bounds."""
+        return max(self.num_strategies)
+
+    @property
+    def radices(self) -> np.ndarray:
+        """Read-only view of the mixed-radix place values."""
+        r = self._radices.view()
+        r.flags.writeable = False
+        return r
+
+    # -- encode / decode --------------------------------------------------
+
+    def encode(self, profile: Sequence[int]) -> int:
+        """Map a strategy profile (tuple of strategy indices) to its index."""
+        arr = np.asarray(profile, dtype=np.int64)
+        if arr.shape != (self.num_players,):
+            raise ValueError(
+                f"profile must have length {self.num_players}, got shape {arr.shape}"
+            )
+        ms = np.asarray(self.num_strategies, dtype=np.int64)
+        if np.any(arr < 0) or np.any(arr >= ms):
+            raise ValueError(f"profile {tuple(arr)} out of range for radices {self.num_strategies}")
+        return int(arr @ self._radices)
+
+    def encode_many(self, profiles: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode` for an ``(k, n)`` array of profiles."""
+        arr = np.asarray(profiles, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != self.num_players:
+            raise ValueError(f"expected shape (k, {self.num_players}), got {arr.shape}")
+        return arr @ self._radices
+
+    def decode(self, index: int) -> tuple[int, ...]:
+        """Map a profile index back to the tuple of strategy indices."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} out of range [0, {self.size})")
+        out = []
+        rem = int(index)
+        for m in self.num_strategies:
+            out.append(rem % m)
+            rem //= m
+        return tuple(out)
+
+    def decode_many(self, indices: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`decode`: returns a ``(k, n)`` int array."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self.size):
+            raise ValueError("profile index out of range")
+        cols = []
+        rem = idx.copy()
+        for m in self.num_strategies:
+            cols.append(rem % m)
+            rem //= m
+        return np.stack(cols, axis=-1)
+
+    def all_profiles(self) -> np.ndarray:
+        """Return the full ``(|S|, n)`` array of profiles in index order."""
+        return self.decode_many(np.arange(self.size, dtype=np.int64))
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for i in range(self.size):
+            yield self.decode(i)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- single-coordinate surgery ---------------------------------------
+
+    def strategy_of(self, indices: np.ndarray | int, player: int) -> np.ndarray | int:
+        """Strategy of ``player`` in the profile(s) with the given index/indices."""
+        self._check_player(player)
+        idx = np.asarray(indices, dtype=np.int64)
+        res = (idx // self._radices[player]) % self.num_strategies[player]
+        if np.isscalar(indices) or getattr(indices, "ndim", 1) == 0:
+            return int(res)
+        return res
+
+    def replace(self, index: int, player: int, strategy: int) -> int:
+        """Index of the profile obtained by setting ``player``'s strategy."""
+        self._check_player(player)
+        if not 0 <= strategy < self.num_strategies[player]:
+            raise ValueError(
+                f"strategy {strategy} out of range for player {player} "
+                f"(has {self.num_strategies[player]} strategies)"
+            )
+        current = self.strategy_of(index, player)
+        return int(index + (strategy - current) * self._radices[player])
+
+    def replace_many(self, indices: np.ndarray, player: int, strategy: int) -> np.ndarray:
+        """Vectorised :meth:`replace` over an array of profile indices."""
+        self._check_player(player)
+        idx = np.asarray(indices, dtype=np.int64)
+        current = (idx // self._radices[player]) % self.num_strategies[player]
+        return idx + (strategy - current) * self._radices[player]
+
+    def deviations(self, index: int, player: int) -> np.ndarray:
+        """Indices of all profiles where only ``player``'s strategy varies.
+
+        The returned array has length ``m_player`` and is ordered by the
+        strategy chosen by ``player`` (the entry at position
+        ``strategy_of(index, player)`` equals ``index`` itself).
+        """
+        self._check_player(player)
+        m = self.num_strategies[player]
+        current = self.strategy_of(index, player)
+        base = index - current * int(self._radices[player])
+        return base + np.arange(m, dtype=np.int64) * self._radices[player]
+
+    def deviation_matrix(self, player: int) -> np.ndarray:
+        """``(|S|, m_player)`` array: row ``x`` lists :meth:`deviations` of ``x``.
+
+        This is the vectorised workhorse used by the transition-matrix
+        builder: column ``s`` holds, for every profile, the index of the
+        profile where ``player`` switched to strategy ``s``.
+        """
+        self._check_player(player)
+        idx = np.arange(self.size, dtype=np.int64)
+        current = (idx // self._radices[player]) % self.num_strategies[player]
+        base = idx - current * self._radices[player]
+        strategies = np.arange(self.num_strategies[player], dtype=np.int64)
+        return base[:, None] + strategies[None, :] * self._radices[player]
+
+    # -- Hamming graph ----------------------------------------------------
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Profile indices at Hamming distance exactly 1 from ``index``."""
+        out = []
+        for player in range(self.num_players):
+            devs = self.deviations(index, player)
+            out.append(devs[devs != index])
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+    def hamming_edges(self) -> np.ndarray:
+        """All undirected Hamming-graph edges as an ``(E, 2)`` array.
+
+        Each edge ``(u, v)`` with ``u < v`` connects two profiles that differ
+        in exactly one player's strategy.
+        """
+        edges = []
+        idx = np.arange(self.size, dtype=np.int64)
+        for player in range(self.num_players):
+            devs = self.deviation_matrix(player)
+            for s in range(self.num_strategies[player]):
+                v = devs[:, s]
+                mask = idx < v
+                if np.any(mask):
+                    edges.append(np.stack([idx[mask], v[mask]], axis=1))
+        if not edges:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(edges, axis=0)
+
+    def hamming_distance_between(self, index_a: int, index_b: int) -> int:
+        """Hamming distance between two profiles given by index."""
+        return hamming_distance(self.decode(index_a), self.decode(index_b))
+
+    def bit_fixing_path(self, index_a: int, index_b: int) -> list[int]:
+        """The canonical "bit-fixing" Hamming path from ``a`` to ``b``.
+
+        Coordinates are fixed to their target value in increasing player
+        order; this is exactly the path family used in the proofs of
+        Lemma 3.3 and Theorem 5.1 of the paper.
+        """
+        a = list(self.decode(index_a))
+        b = self.decode(index_b)
+        path = [index_a]
+        for player in range(self.num_players):
+            if a[player] != b[player]:
+                a[player] = b[player]
+                path.append(self.encode(a))
+        return path
+
+    def weight(self, indices: np.ndarray | int, one_strategy: int = 1) -> np.ndarray | int:
+        """Number of players playing ``one_strategy`` in the given profile(s).
+
+        For two-strategy games this is the Hamming weight ``w(x)`` used
+        throughout Section 3.2 and Section 5 of the paper.
+        """
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        count = np.zeros(idx.shape, dtype=np.int64)
+        for player in range(self.num_players):
+            count += (self.strategy_of(idx, player) == one_strategy)
+        if np.isscalar(indices) or getattr(indices, "ndim", 1) == 0:
+            return int(count[0])
+        return count
+
+    # -- internals --------------------------------------------------------
+
+    def _check_player(self, player: int) -> None:
+        if not 0 <= player < self.num_players:
+            raise ValueError(f"player {player} out of range [0, {self.num_players})")

@@ -1,0 +1,37 @@
+"""Graph substrate: social-network topologies and cutwidth computation."""
+
+from .cutwidth import (
+    clique_cutwidth,
+    cutwidth_exact,
+    cutwidth_greedy,
+    cutwidth_known,
+    cutwidth_of_ordering,
+)
+from .topologies import (
+    binary_tree_graph,
+    clique_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+    torus_graph,
+)
+
+__all__ = [
+    "clique_cutwidth",
+    "cutwidth_exact",
+    "cutwidth_greedy",
+    "cutwidth_known",
+    "cutwidth_of_ordering",
+    "binary_tree_graph",
+    "clique_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "random_regular_graph",
+    "ring_graph",
+    "star_graph",
+    "torus_graph",
+]

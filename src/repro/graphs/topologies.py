@@ -1,0 +1,112 @@
+"""Social-graph topology generators used in Section 5 experiments.
+
+Thin wrappers around :mod:`networkx` generators with consistent 0-based
+integer labelling, plus a couple of structured topologies (torus, caterpillar)
+useful for exercising the cutwidth bound of Theorem 5.1 across a spectrum of
+connectivities.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "ring_graph",
+    "clique_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "binary_tree_graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+]
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 integers in sorted order."""
+    mapping = {node: i for i, node in enumerate(sorted(graph.nodes()))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def ring_graph(num_nodes: int) -> nx.Graph:
+    """Cycle on ``num_nodes`` nodes (the paper's "ring", Section 5.3)."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return nx.cycle_graph(num_nodes)
+
+
+def clique_graph(num_nodes: int) -> nx.Graph:
+    """Complete graph on ``num_nodes`` nodes (Section 5.2)."""
+    if num_nodes < 2:
+        raise ValueError("a clique needs at least 2 nodes")
+    return nx.complete_graph(num_nodes)
+
+
+def path_graph(num_nodes: int) -> nx.Graph:
+    """Path on ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise ValueError("a path needs at least 2 nodes")
+    return nx.path_graph(num_nodes)
+
+
+def star_graph(num_nodes: int) -> nx.Graph:
+    """Star with one hub and ``num_nodes - 1`` leaves."""
+    if num_nodes < 2:
+        raise ValueError("a star needs at least 2 nodes")
+    return nx.star_graph(num_nodes - 1)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2-D grid graph with ``rows * cols`` nodes, integer-labelled."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = nx.grid_2d_graph(rows, cols)
+    return _relabel(g)
+
+
+def torus_graph(rows: int, cols: int) -> nx.Graph:
+    """2-D torus (grid with wrap-around), integer-labelled."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3")
+    g = nx.grid_2d_graph(rows, cols, periodic=True)
+    return _relabel(g)
+
+
+def binary_tree_graph(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth (root at node 0)."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    return nx.balanced_tree(2, depth)
+
+
+def erdos_renyi_graph(
+    num_nodes: int, edge_probability: float, rng: np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> nx.Graph:
+    """Erdős–Rényi graph; optionally re-sampled until connected."""
+    if not 0 <= edge_probability <= 1:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = np.random.default_rng() if rng is None else rng
+    for _ in range(1000):
+        seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
+        if not ensure_connected or nx.is_connected(g):
+            return g
+    raise RuntimeError(
+        "failed to sample a connected Erdős–Rényi graph; increase edge_probability"
+    )
+
+
+def random_regular_graph(
+    num_nodes: int, degree: int, rng: np.random.Generator | None = None
+) -> nx.Graph:
+    """Random ``degree``-regular graph on ``num_nodes`` nodes."""
+    if degree >= num_nodes:
+        raise ValueError("degree must be smaller than the number of nodes")
+    if (num_nodes * degree) % 2 != 0:
+        raise ValueError("num_nodes * degree must be even")
+    rng = np.random.default_rng() if rng is None else rng
+    seed = int(rng.integers(0, 2**31 - 1))
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)

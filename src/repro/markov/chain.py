@@ -1,0 +1,231 @@
+"""Finite Markov chains: validation, structure checks, stationary distributions.
+
+This is the generic substrate beneath the logit dynamics: a
+:class:`MarkovChain` wraps a row-stochastic transition matrix and provides
+
+* structural checks — irreducibility, aperiodicity, ergodicity,
+  reversibility (detailed balance against a given or computed stationary
+  distribution);
+* the stationary distribution, computed either from a supplied Gibbs
+  measure or from the leading left eigenvector;
+* single-step and multi-step evolution of distributions, and sampling of
+  trajectories;
+* the edge stationary distribution ``Q(x, y) = pi(x) P(x, y)`` used by the
+  canonical-path and bottleneck machinery of the paper (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from .tv import is_distribution, normalize_distribution
+
+__all__ = ["MarkovChain", "stationary_distribution", "is_stochastic_matrix"]
+
+
+def is_stochastic_matrix(P: np.ndarray, tol: float = 1e-9) -> bool:
+    """Whether ``P`` is square, non-negative and has unit row sums."""
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        return False
+    if np.any(P < -tol):
+        return False
+    return bool(np.allclose(P.sum(axis=1), 1.0, atol=tol))
+
+
+def stationary_distribution(P: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+    """Stationary distribution of an ergodic chain via the leading eigenvector.
+
+    Solves ``pi P = pi`` by computing the null space of ``(P^T - I)``
+    augmented with the normalisation constraint, which is robust for the
+    moderate state-space sizes this package targets.
+    """
+    P = np.asarray(P, dtype=float)
+    n = P.shape[0]
+    A = np.vstack([P.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    total = float(pi.sum())
+    if total <= tol:
+        raise np.linalg.LinAlgError("failed to compute a stationary distribution")
+    return pi / total
+
+
+class MarkovChain:
+    """A finite Markov chain given by a dense row-stochastic matrix.
+
+    Parameters
+    ----------
+    transition_matrix:
+        ``(N, N)`` row-stochastic matrix.
+    stationary:
+        Optional known stationary distribution (e.g. a Gibbs measure); if
+        omitted it is computed on first use.
+    validate:
+        If ``True`` (default) the matrix is checked to be stochastic.
+    """
+
+    def __init__(
+        self,
+        transition_matrix: np.ndarray,
+        stationary: np.ndarray | None = None,
+        validate: bool = True,
+    ):
+        P = np.asarray(transition_matrix, dtype=float)
+        if validate and not is_stochastic_matrix(P):
+            raise ValueError("transition matrix must be square, non-negative, row sums 1")
+        self._P = P
+        self._pi: np.ndarray | None = None
+        if stationary is not None:
+            pi = np.asarray(stationary, dtype=float)
+            if pi.shape != (P.shape[0],):
+                raise ValueError("stationary distribution has wrong length")
+            if validate and not is_distribution(pi, tol=1e-6):
+                raise ValueError("supplied stationary vector is not a distribution")
+            self._pi = normalize_distribution(pi)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``N``."""
+        return self._P.shape[0]
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """Read-only view of the transition matrix."""
+        view = self._P.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def stationary(self) -> np.ndarray:
+        """The stationary distribution (computed lazily if not supplied)."""
+        if self._pi is None:
+            self._pi = stationary_distribution(self._P)
+        view = self._pi.view()
+        view.flags.writeable = False
+        return view
+
+    # -- structure ----------------------------------------------------------
+
+    def is_irreducible(self, tol: float = 0.0) -> bool:
+        """Whether every state can reach every other state."""
+        adjacency = sp.csr_matrix(self._P > tol)
+        n_components, _ = csgraph.connected_components(adjacency, connection="strong")
+        return n_components == 1
+
+    def is_aperiodic(self, tol: float = 0.0) -> bool:
+        """Whether the chain's period is 1.
+
+        A sufficient-and-necessary check on a strongly connected chain: if
+        any state has a self loop the chain is aperiodic; otherwise compute
+        the gcd of cycle lengths via a BFS layering argument.
+        """
+        if np.any(np.diag(self._P) > tol):
+            return True
+        # gcd-of-cycles via BFS distance differences on the directed graph
+        n = self.num_states
+        adjacency = self._P > tol
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[0] = 0
+        frontier = [0]
+        g = 0
+        while frontier:
+            new_frontier = []
+            for u in frontier:
+                for v in np.flatnonzero(adjacency[u]):
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        new_frontier.append(int(v))
+                    else:
+                        g = int(np.gcd(g, dist[u] + 1 - dist[v]))
+            frontier = new_frontier
+        # unreachable states make periodicity ill-defined; treat as periodic
+        if np.any(dist < 0):
+            return False
+        return g == 1
+
+    def is_ergodic(self) -> bool:
+        """Irreducible and aperiodic."""
+        return self.is_irreducible() and self.is_aperiodic()
+
+    def is_reversible(self, tol: float = 1e-9) -> bool:
+        """Detailed balance: ``pi(x) P(x, y) == pi(y) P(y, x)`` for all x, y."""
+        pi = self.stationary
+        flow = pi[:, None] * self._P
+        return bool(np.allclose(flow, flow.T, atol=tol))
+
+    # -- dynamics -----------------------------------------------------------
+
+    def edge_stationary(self) -> np.ndarray:
+        """The edge stationary distribution ``Q(x, y) = pi(x) P(x, y)``."""
+        return self.stationary[:, None] * self._P
+
+    def step_distribution(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Evolve a distribution ``mu`` forward: ``mu P^steps``."""
+        mu = np.asarray(distribution, dtype=float)
+        if mu.shape != (self.num_states,):
+            raise ValueError("distribution has wrong length")
+        for _ in range(int(steps)):
+            mu = mu @ self._P
+        return mu
+
+    def t_step_matrix(self, steps: int) -> np.ndarray:
+        """``P^steps`` computed by repeated squaring."""
+        steps = int(steps)
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        result = np.eye(self.num_states)
+        base = self._P.copy()
+        while steps:
+            if steps & 1:
+                result = result @ base
+            steps >>= 1
+            if steps:
+                base = base @ base
+        return result
+
+    def sample_path(
+        self,
+        start: int,
+        length: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample a trajectory ``X_0 = start, X_1, ..., X_length``."""
+        rng = np.random.default_rng() if rng is None else rng
+        if not 0 <= start < self.num_states:
+            raise ValueError("start state out of range")
+        path = np.empty(length + 1, dtype=np.int64)
+        path[0] = start
+        cumulative = np.cumsum(self._P, axis=1)
+        draws = rng.random(length)
+        for t in range(length):
+            path[t + 1] = np.searchsorted(cumulative[path[t]], draws[t], side="right")
+        return path
+
+    def expected_hitting_time(self, target: int | Sequence[int]) -> np.ndarray:
+        """Expected hitting times ``E_x[tau_target]`` for every start ``x``.
+
+        Solves the standard linear system: ``h(x) = 0`` on the target set,
+        ``h(x) = 1 + sum_y P(x, y) h(y)`` elsewhere.
+        """
+        targets = np.atleast_1d(np.asarray(target, dtype=np.int64))
+        n = self.num_states
+        mask = np.zeros(n, dtype=bool)
+        mask[targets] = True
+        free = np.flatnonzero(~mask)
+        if free.size == 0:
+            return np.zeros(n)
+        A = np.eye(free.size) - self._P[np.ix_(free, free)]
+        b = np.ones(free.size)
+        h_free = np.linalg.solve(A, b)
+        h = np.zeros(n)
+        h[free] = h_free
+        return h

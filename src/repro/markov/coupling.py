@@ -1,0 +1,182 @@
+"""Monte-Carlo coupling machinery (Theorem 2.1 / 2.2 of the paper).
+
+A *coupling* of a Markov chain runs two copies ``(X_t, Y_t)`` on a joint
+probability space so that each copy is marginally the chain; the coupling
+theorem bounds ``||P^t(x,.) - P^t(y,.)||_TV`` by the probability the copies
+have not met by time ``t``.  The paper uses two specific couplings:
+
+* the *grand coupling* for games (Theorem 3.6 / 4.2): both copies select
+  the same player and the same uniform ``U in [0, 1]``, and each copy maps
+  ``U`` through its own update distribution via the maximal-overlap interval
+  construction described in the proof of Theorem 3.6;
+* the simple *identity coupling* of Lemma 3.2 for ``beta = 0``.
+
+This module provides a generic simulator of the grand coupling for any
+single-site update chain expressed through per-site conditional update
+distributions, plus estimators of the coalescence time and the induced
+upper bound on the mixing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "maximal_coupling_update",
+    "CouplingResult",
+    "simulate_grand_coupling",
+    "coalescence_time_bound",
+]
+
+
+def maximal_coupling_update(
+    probs_x: np.ndarray, probs_y: np.ndarray, u: float
+) -> tuple[int, int]:
+    """Map one uniform draw through the paper's interval coupling.
+
+    Given the two single-site update distributions ``sigma_i(. | x)`` and
+    ``sigma_i(. | y)`` and a uniform ``u``, return the pair of chosen
+    strategies ``(s_x, s_y)``.  The construction follows the proof of
+    Theorem 3.6: the interval ``[0, 1]`` is partitioned so that a prefix of
+    total length ``sum_s min(sigma(s|x), sigma(s|y))`` yields the *same*
+    strategy in both copies, and the suffix yields (in general) different
+    strategies.  The marginals are exactly ``probs_x`` and ``probs_y``.
+    """
+    probs_x = np.asarray(probs_x, dtype=float)
+    probs_y = np.asarray(probs_y, dtype=float)
+    if probs_x.shape != probs_y.shape:
+        raise ValueError("update distributions must have equal length")
+    overlap = np.minimum(probs_x, probs_y)
+    ell = float(np.sum(overlap))
+    if u < ell:
+        # same strategy in both chains, drawn from the overlap
+        cum = np.cumsum(overlap)
+        s = int(np.searchsorted(cum, u, side="right"))
+        s = min(s, probs_x.size - 1)
+        return s, s
+    # residual mass: chains draw from their (normalised) excess parts
+    excess_x = probs_x - overlap
+    excess_y = probs_y - overlap
+    rem = u - ell
+    scale = 1.0 - ell
+    if scale <= 0:
+        # distributions identical up to round-off
+        cum = np.cumsum(probs_x)
+        s = int(np.searchsorted(cum, u, side="right"))
+        s = min(s, probs_x.size - 1)
+        return s, s
+    cum_x = np.cumsum(excess_x)
+    cum_y = np.cumsum(excess_y)
+    s_x = int(np.searchsorted(cum_x, rem, side="right"))
+    s_y = int(np.searchsorted(cum_y, rem, side="right"))
+    s_x = min(s_x, probs_x.size - 1)
+    s_y = min(s_y, probs_y.size - 1)
+    return s_x, s_y
+
+
+@dataclass(frozen=True)
+class CouplingResult:
+    """Summary of a batch of grand-coupling simulations."""
+
+    coalescence_times: np.ndarray
+    horizon: int
+    num_coalesced: int
+
+    @property
+    def num_runs(self) -> int:
+        """Number of simulated coupled trajectories."""
+        return self.coalescence_times.size
+
+    @property
+    def fraction_coalesced(self) -> float:
+        """Fraction of runs that met within the horizon."""
+        return self.num_coalesced / max(self.num_runs, 1)
+
+    def mean_coalescence_time(self) -> float:
+        """Mean coalescence time over the runs that met (NaN if none did)."""
+        met = self.coalescence_times[self.coalescence_times >= 0]
+        return float(np.mean(met)) if met.size else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the coalescence time, counting non-met runs as horizon."""
+        times = np.where(self.coalescence_times < 0, self.horizon, self.coalescence_times)
+        return float(np.quantile(times, q))
+
+
+def simulate_grand_coupling(
+    num_players: int,
+    num_strategies: tuple[int, ...],
+    update_distribution: Callable[[np.ndarray, int], np.ndarray],
+    start_x: np.ndarray,
+    start_y: np.ndarray,
+    horizon: int,
+    num_runs: int = 32,
+    rng: np.random.Generator | None = None,
+) -> CouplingResult:
+    """Simulate the paper's grand coupling from two starting profiles.
+
+    Parameters
+    ----------
+    update_distribution:
+        ``update_distribution(profile, player)`` must return the single-site
+        update distribution ``sigma_player(. | profile)`` (length
+        ``num_strategies[player]``).  For the logit dynamics this is
+        Equation (2); the simulator itself is dynamics-agnostic.
+    start_x, start_y:
+        Initial profiles of the two copies (as strategy tuples/arrays).
+    horizon:
+        Maximum number of steps per run.
+    num_runs:
+        Number of independent coupled trajectories.
+
+    Returns
+    -------
+    CouplingResult
+        Coalescence time per run (``-1`` when the copies never met).
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    start_x = np.asarray(start_x, dtype=np.int64)
+    start_y = np.asarray(start_y, dtype=np.int64)
+    if start_x.shape != (num_players,) or start_y.shape != (num_players,):
+        raise ValueError("starting profiles must have length num_players")
+    times = np.full(num_runs, -1, dtype=np.int64)
+    for run in range(num_runs):
+        x = start_x.copy()
+        y = start_y.copy()
+        if np.array_equal(x, y):
+            times[run] = 0
+            continue
+        players = rng.integers(0, num_players, size=horizon)
+        uniforms = rng.random(horizon)
+        for t in range(horizon):
+            i = int(players[t])
+            probs_x = update_distribution(x, i)
+            probs_y = update_distribution(y, i)
+            s_x, s_y = maximal_coupling_update(probs_x, probs_y, float(uniforms[t]))
+            x[i] = s_x
+            y[i] = s_y
+            if np.array_equal(x, y):
+                times[run] = t + 1
+                break
+    return CouplingResult(
+        coalescence_times=times,
+        horizon=horizon,
+        num_coalesced=int(np.count_nonzero(times >= 0)),
+    )
+
+
+def coalescence_time_bound(result: CouplingResult, epsilon: float = 0.25) -> float:
+    """Mixing-time upper estimate from coalescence times (Theorem 2.1).
+
+    ``P(tau_couple > t)`` upper-bounds the TV distance, so the empirical
+    ``(1 - eps)``-quantile of the coalescence time is a Monte-Carlo estimate
+    of an upper bound on ``t_mix(eps)`` for the specific starting pair that
+    was simulated (for the worst-case bound, simulate from a maximising
+    pair, e.g. the two consensus profiles of a coordination game).
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    return result.quantile(1.0 - epsilon)

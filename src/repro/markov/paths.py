@@ -1,0 +1,148 @@
+"""Canonical paths, congestion ratios and the path-comparison method.
+
+Section 2.1 of the paper uses two path-based spectral tools:
+
+* the *canonical paths* bound (Theorem 2.6 / Jerrum–Sinclair): for a set of
+  paths ``Gamma = {Gamma_{x,y}}``, one per ordered pair of states, the
+  congestion ``rho = max_e (1/Q(e)) * sum_{(x,y): e in Gamma_{x,y}}
+  pi(x) pi(y) |Gamma_{x,y}|`` upper-bounds ``1/(1 - lambda_2)``;
+* the *path comparison* theorem (Theorem 2.5): comparing a chain ``M``
+  against a second chain ``M_hat`` on the same state space via a set of
+  ``M``-paths, one per ``M_hat``-edge, with congestion ratio ``alpha``
+  gives ``1/(1-lambda_2) <= alpha * gamma * 1/(1-lambda_hat_2)``.
+
+Both are implemented against explicit path dictionaries so that the
+benchmark for Lemma 3.3 can instantiate exactly the paths used in the
+paper's proof (bit-fixing paths through the minimum-potential common
+neighbor) and verify the claimed congestion numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .chain import MarkovChain
+
+__all__ = [
+    "PathFamily",
+    "canonical_paths_congestion",
+    "canonical_paths_relaxation_bound",
+    "comparison_congestion_ratio",
+    "path_edges",
+]
+
+Edge = tuple[int, int]
+Path = Sequence[int]
+
+
+def path_edges(path: Path) -> list[Edge]:
+    """The list of directed edges traversed by a state path."""
+    if len(path) < 1:
+        raise ValueError("a path needs at least one state")
+    return [(int(path[k]), int(path[k + 1])) for k in range(len(path) - 1)]
+
+
+@dataclass
+class PathFamily:
+    """A set of paths indexed by ordered state pairs.
+
+    ``paths[(x, y)]`` is a sequence of states starting at ``x`` and ending
+    at ``y``; consecutive states must be joined by a transition of positive
+    probability in the chain the family will be evaluated against.
+    """
+
+    paths: Mapping[tuple[int, int], Path]
+
+    def validate(self, chain: MarkovChain, tol: float = 0.0) -> None:
+        """Check every edge of every path is a transition of the chain."""
+        P = chain.transition_matrix
+        for (x, y), path in self.paths.items():
+            if len(path) == 0 or path[0] != x or path[-1] != y:
+                raise ValueError(f"path for pair ({x}, {y}) has wrong endpoints")
+            for u, v in path_edges(path):
+                if u != v and P[u, v] <= tol:
+                    raise ValueError(
+                        f"path for pair ({x}, {y}) uses edge ({u}, {v}) "
+                        "which is not a transition of the chain"
+                    )
+
+    def items(self) -> Iterable[tuple[tuple[int, int], Path]]:
+        """Iterate over (pair, path) items."""
+        return self.paths.items()
+
+
+def canonical_paths_congestion(chain: MarkovChain, family: PathFamily) -> float:
+    """The Jerrum–Sinclair congestion ``rho`` of a path family (Theorem 2.6)."""
+    pi = chain.stationary
+    Q = chain.edge_stationary()
+    load: dict[Edge, float] = {}
+    for (x, y), path in family.items():
+        weight = float(pi[x] * pi[y] * max(len(path) - 1, 1))
+        for edge in path_edges(path):
+            u, v = edge
+            if u == v:
+                continue
+            load[edge] = load.get(edge, 0.0) + weight
+    rho = 0.0
+    for (u, v), total in load.items():
+        q = float(Q[u, v])
+        if q <= 0:
+            raise ValueError(f"edge ({u}, {v}) carries path load but has Q = 0")
+        rho = max(rho, total / q)
+    return rho
+
+
+def canonical_paths_relaxation_bound(chain: MarkovChain, family: PathFamily) -> float:
+    """Upper bound ``1/(1 - lambda_2) <= rho`` from Theorem 2.6."""
+    return canonical_paths_congestion(chain, family)
+
+
+def comparison_congestion_ratio(
+    chain: MarkovChain,
+    reference: MarkovChain,
+    family: PathFamily,
+) -> tuple[float, float]:
+    """Congestion ratio ``alpha`` and distortion ``gamma`` of Theorem 2.5.
+
+    ``family`` must contain one ``chain``-path per edge of ``reference``
+    (pairs ``(x, y)`` with ``P_hat(x, y) > 0`` and ``x != y``).  Returns the
+    pair ``(alpha, gamma)``; the theorem then gives
+    ``t_rel(chain) <= alpha * gamma * t_rel(reference)`` (for chains whose
+    relaxation time is governed by ``lambda_2``, as guaranteed for the logit
+    dynamics of potential games by Theorem 3.1).
+    """
+    Q = chain.edge_stationary()
+    Q_hat = reference.edge_stationary()
+    pi = chain.stationary
+    pi_hat = reference.stationary
+    # every reference edge must have a path
+    P_hat = reference.transition_matrix
+    ref_edges = {
+        (int(x), int(y))
+        for x, y in zip(*np.nonzero(P_hat))
+        if x != y
+    }
+    missing = ref_edges - set(family.paths.keys())
+    if missing:
+        raise ValueError(f"path family is missing {len(missing)} reference edges, e.g. {next(iter(missing))}")
+    load: dict[Edge, float] = {}
+    for (x, y), path in family.items():
+        if (x, y) not in ref_edges:
+            continue
+        weight = float(Q_hat[x, y] * max(len(path) - 1, 1))
+        for edge in path_edges(path):
+            u, v = edge
+            if u == v:
+                continue
+            load[edge] = load.get(edge, 0.0) + weight
+    alpha = 0.0
+    for (u, v), total in load.items():
+        q = float(Q[u, v])
+        if q <= 0:
+            raise ValueError(f"edge ({u}, {v}) carries comparison load but has Q = 0")
+        alpha = max(alpha, total / q)
+    gamma = float(np.max(pi / pi_hat))
+    return alpha, gamma

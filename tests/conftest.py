@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.games import (
+    AnonymousDominantGame,
+    CoordinationParams,
+    GraphicalCoordinationGame,
+    Theorem35Game,
+    TwoWellGame,
+    random_game,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ring5_ising_game() -> GraphicalCoordinationGame:
+    """Ising-style coordination game (no risk dominance) on a 5-ring."""
+    return GraphicalCoordinationGame(nx.cycle_graph(5), CoordinationParams.ising(1.0))
+
+
+@pytest.fixture
+def clique4_game() -> GraphicalCoordinationGame:
+    """Coordination game with a risk-dominant equilibrium on a 4-clique."""
+    return GraphicalCoordinationGame(
+        nx.complete_graph(4), CoordinationParams.from_deltas(2.0, 1.0)
+    )
+
+
+@pytest.fixture
+def two_well_game() -> TwoWellGame:
+    """Symmetric two-well potential on 4 binary players."""
+    return TwoWellGame(num_players=4, barrier=1.5)
+
+
+@pytest.fixture
+def theorem35_game() -> Theorem35Game:
+    """The Theorem 3.5 lower-bound construction on 6 players."""
+    return Theorem35Game(num_players=6, global_variation=2.0, local_variation=1.0)
+
+
+@pytest.fixture
+def dominant_game() -> AnonymousDominantGame:
+    """The Theorem 4.3 dominant-strategy game with 3 players, 2 strategies."""
+    return AnonymousDominantGame(num_players=3, num_strategies_per_player=2)
+
+
+@pytest.fixture
+def small_random_game(rng) -> object:
+    """A small random (generally non-potential) game for generic chain tests."""
+    return random_game((2, 3, 2), rng=rng)

@@ -1,0 +1,137 @@
+"""Tests for game base classes (repro.games.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.games.base import (
+    CallableGame,
+    NormalFormGame,
+    TableGame,
+    best_responses,
+    pure_nash_equilibria,
+    random_game,
+)
+
+
+def prisoners_dilemma() -> NormalFormGame:
+    # strategy 0 = defect, 1 = cooperate; defect dominates
+    row = np.array([[1.0, 5.0], [0.0, 3.0]])
+    col = row.T
+    return NormalFormGame(row, col)
+
+
+def matching_pennies() -> NormalFormGame:
+    row = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return NormalFormGame(row, -row)
+
+
+class TestTableGame:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TableGame((2, 2), np.zeros((2, 5)))
+
+    def test_rejects_nonfinite(self):
+        utilities = np.zeros((2, 4))
+        utilities[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            TableGame((2, 2), utilities)
+
+    def test_utility_lookup(self):
+        utilities = np.arange(8, dtype=float).reshape(2, 4)
+        game = TableGame((2, 2), utilities)
+        assert game.utility(0, 3) == 3.0
+        assert game.utility(1, 0) == 4.0
+
+    def test_utility_matrix_is_copy(self):
+        game = TableGame((2, 2), np.zeros((2, 4)))
+        m = game.utility_matrix(0)
+        m[:] = 99.0
+        assert game.utility(0, 0) == 0.0
+
+    def test_utilities_property_readonly(self):
+        game = TableGame((2, 2), np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            game.utilities[0, 0] = 1.0
+
+    def test_from_function(self):
+        game = TableGame.from_function((2, 2), lambda i, prof: float(prof[i]))
+        assert game.utility(0, game.space.encode((1, 0))) == 1.0
+        assert game.utility(1, game.space.encode((1, 0))) == 0.0
+
+    def test_utility_deviations_ordering(self):
+        game = TableGame.from_function((2, 3), lambda i, prof: float(10 * i + prof[i]))
+        idx = game.space.encode((1, 2))
+        np.testing.assert_allclose(game.utility_deviations(1, idx), [10.0, 11.0, 12.0])
+
+    def test_utility_profile(self):
+        game = prisoners_dilemma()
+        utils = game.utility_profile((1, 1))
+        np.testing.assert_allclose(utils, [3.0, 3.0])
+
+
+class TestNormalFormGame:
+    def test_payoff_mapping(self):
+        game = prisoners_dilemma()
+        # row plays 0 (defect), col plays 1 (cooperate): row gets 5, col gets 0
+        idx = game.space.encode((0, 1))
+        assert game.utility(0, idx) == 5.0
+        assert game.utility(1, idx) == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NormalFormGame(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_asymmetric_strategy_counts(self):
+        row = np.arange(6, dtype=float).reshape(2, 3)
+        game = NormalFormGame(row, -row)
+        assert game.num_strategies == (2, 3)
+        assert game.space.size == 6
+
+
+class TestCallableGame:
+    def test_matches_table_game(self):
+        fn = lambda i, prof: float(prof[0] * 2 + prof[1] - i)
+        table = TableGame.from_function((2, 2), fn)
+        lazy = CallableGame((2, 2), fn)
+        for x in range(4):
+            for i in range(2):
+                assert table.utility(i, x) == lazy.utility(i, x)
+
+
+class TestEquilibria:
+    def test_pd_single_equilibrium(self):
+        game = prisoners_dilemma()
+        eq = pure_nash_equilibria(game)
+        assert eq == [game.space.encode((0, 0))]
+
+    def test_matching_pennies_no_pure_equilibrium(self):
+        assert pure_nash_equilibria(matching_pennies()) == []
+
+    def test_coordination_two_equilibria(self):
+        row = np.array([[2.0, 0.0], [0.0, 1.0]])
+        game = NormalFormGame(row, row.T)
+        eq = set(pure_nash_equilibria(game))
+        assert eq == {game.space.encode((0, 0)), game.space.encode((1, 1))}
+
+    def test_best_responses(self):
+        game = prisoners_dilemma()
+        idx = game.space.encode((1, 1))
+        np.testing.assert_array_equal(best_responses(game, 0, idx), [0])
+
+    def test_is_best_response(self):
+        game = prisoners_dilemma()
+        assert game.is_best_response(0, game.space.encode((0, 1)))
+        assert not game.is_best_response(0, game.space.encode((1, 1)))
+
+
+class TestRandomGame:
+    def test_deterministic_given_rng(self):
+        a = random_game((2, 2), rng=np.random.default_rng(7))
+        b = random_game((2, 2), rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.utilities, b.utilities)
+
+    def test_bounds_respected(self):
+        game = random_game((2, 3), rng=np.random.default_rng(0), low=-2.0, high=2.0)
+        assert np.all(game.utilities >= -2.0) and np.all(game.utilities <= 2.0)

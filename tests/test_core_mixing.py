@@ -1,0 +1,93 @@
+"""Tests for the mixing-time measurement drivers (repro.core.mixing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.mixing as core_mixing
+from repro.core import (
+    estimate_mixing_time_coupling,
+    measure_mixing_time,
+    measure_mixing_with_bounds,
+    measure_relaxation_time,
+    measure_spectral_summary,
+    mixing_time_vs_beta,
+    relaxation_time_vs_beta,
+)
+from repro.games import CoordinationParams, GraphicalCoordinationGame, TwoWellGame
+
+import networkx as nx
+
+
+class TestExactMeasurement:
+    def test_mixing_time_positive(self, ring5_ising_game):
+        result = measure_mixing_time(ring5_ising_game, beta=1.0)
+        assert result.mixing_time > 0
+        assert not result.capped
+
+    def test_relaxation_time_at_least_one(self, ring5_ising_game):
+        assert measure_relaxation_time(ring5_ising_game, beta=1.0) >= 1.0
+
+    def test_spectrum_nonnegative_for_potential_game(self, clique4_game):
+        """Theorem 3.1: the logit chain of a potential game has a non-negative
+        spectrum."""
+        summary = measure_spectral_summary(clique4_game, beta=1.4)
+        assert summary.all_nonnegative
+
+    def test_measure_with_bounds_sandwich(self, two_well_game):
+        m = measure_mixing_with_bounds(two_well_game, beta=1.0)
+        assert m.theorem23_lower <= m.mixing_time <= m.theorem23_upper
+        assert m.num_profiles == two_well_game.space.size
+
+    def test_exact_guard_rejects_huge_spaces(self, monkeypatch):
+        monkeypatch.setattr(core_mixing, "MAX_EXACT_PROFILES", 8)
+        game = TwoWellGame(num_players=5, barrier=1.0)  # 32 profiles > 8
+        with pytest.raises(ValueError):
+            core_mixing.measure_mixing_time(game, beta=1.0)
+
+    def test_mixing_monotone_in_beta_for_two_well(self, two_well_game):
+        """For a two-well potential, raising beta raises the mixing time."""
+        betas = [0.0, 1.0, 2.0]
+        curve = mixing_time_vs_beta(two_well_game, betas)
+        assert curve.shape == (3, 2)
+        times = curve[:, 1]
+        assert times[0] <= times[1] <= times[2]
+        assert times[2] > times[0]
+
+    def test_relaxation_vs_beta_shape(self, two_well_game):
+        curve = relaxation_time_vs_beta(two_well_game, [0.0, 0.5])
+        assert curve.shape == (2, 2)
+        assert np.all(curve[:, 1] >= 1.0)
+
+
+class TestCouplingEstimator:
+    def test_estimate_upper_bounds_exact_on_ring(self):
+        game = GraphicalCoordinationGame(nx.cycle_graph(4), CoordinationParams.ising(1.0))
+        beta = 0.5
+        exact = measure_mixing_time(game, beta).mixing_time
+        estimate = estimate_mixing_time_coupling(
+            game,
+            beta,
+            start_x=(0, 0, 0, 0),
+            start_y=(1, 1, 1, 1),
+            horizon=200 * exact,
+            num_runs=64,
+            rng=np.random.default_rng(11),
+        )
+        # coupling-time quantile is an upper bound in expectation; allow
+        # Monte-Carlo slack of a factor of 2 on the lower side
+        assert estimate >= exact / 2
+
+    def test_estimate_finite_for_dominant_game(self, dominant_game):
+        estimate = estimate_mixing_time_coupling(
+            dominant_game,
+            beta=20.0,
+            start_x=(1, 1, 1),
+            start_y=(0, 0, 0),
+            horizon=5000,
+            num_runs=16,
+            rng=np.random.default_rng(2),
+        )
+        assert np.isfinite(estimate)
+        assert estimate < 5000

@@ -1,0 +1,145 @@
+"""Tests for the metastability / transient-phase analysis (repro.core.metastability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LogitDynamics, measure_mixing_time
+from repro.core.metastability import (
+    conditional_stationary,
+    escape_time_from,
+    metastable_report,
+    pseudo_mixing_time,
+    quasi_stationary_distribution,
+    restricted_chain,
+)
+from repro.games import Theorem35Game, TwoWellGame
+from repro.markov.chain import MarkovChain
+
+
+def two_state_chain(p: float = 0.3, q: float = 0.2) -> MarkovChain:
+    return MarkovChain(np.array([[1 - p, p], [q, 1 - q]]))
+
+
+def well_states(game: TwoWellGame, which: int = 0) -> np.ndarray:
+    """All profiles whose Hamming weight puts them on the `which` side."""
+    w = game.space.weight(np.arange(game.space.size))
+    n = game.num_players
+    if which == 0:
+        return np.flatnonzero(w < n / 2)
+    return np.flatnonzero(w > n / 2)
+
+
+class TestRestrictedChain:
+    def test_restriction_is_stochastic_and_reversible(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 2.0).markov_chain()
+        R = well_states(two_well_game, 0)
+        restricted = restricted_chain(chain, R)
+        assert restricted.num_states == R.size
+        assert restricted.is_reversible(tol=1e-9)
+
+    def test_restricted_stationary_is_conditional_gibbs(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 1.5).markov_chain()
+        R = well_states(two_well_game, 0)
+        restricted = restricted_chain(chain, R)
+        np.testing.assert_allclose(
+            restricted.stationary, conditional_stationary(chain, R), atol=1e-9
+        )
+
+    def test_validation(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 1.0).markov_chain()
+        with pytest.raises(ValueError):
+            restricted_chain(chain, [])
+        with pytest.raises(ValueError):
+            restricted_chain(chain, [999])
+
+
+class TestQuasiStationary:
+    def test_two_state_closed_form(self):
+        # R = {0}: P_R = [1 - p]; QSD is the point mass, survival rate 1 - p
+        p = 0.3
+        chain = two_state_chain(p, 0.2)
+        nu, rho = quasi_stationary_distribution(chain, [0])
+        np.testing.assert_allclose(nu, [1.0])
+        assert rho == pytest.approx(1.0 - p)
+
+    def test_qsd_is_distribution(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 2.0).markov_chain()
+        R = well_states(two_well_game, 0)
+        nu, rho = quasi_stationary_distribution(chain, R)
+        assert nu.shape == (R.size,)
+        assert nu.sum() == pytest.approx(1.0)
+        assert 0 < rho < 1
+
+    def test_survival_rate_grows_with_beta(self, two_well_game):
+        """Deeper effective wells (larger beta) are harder to leave."""
+        R = well_states(two_well_game, 0)
+        rates = []
+        for beta in (0.5, 1.5, 3.0):
+            chain = LogitDynamics(two_well_game, beta).markov_chain()
+            _, rho = quasi_stationary_distribution(chain, R)
+            rates.append(rho)
+        assert rates[0] < rates[1] < rates[2]
+
+
+class TestEscapeTimes:
+    def test_two_state_closed_form(self):
+        p = 0.25
+        chain = two_state_chain(p, 0.1)
+        assert escape_time_from(chain, [0]) == pytest.approx(1.0 / p)
+
+    def test_escape_time_grows_exponentially_with_beta(self, two_well_game):
+        R = well_states(two_well_game, 0)
+        escapes = []
+        for beta in (1.0, 2.0, 3.0):
+            chain = LogitDynamics(two_well_game, beta).markov_chain()
+            escapes.append(escape_time_from(chain, R))
+        assert escapes[0] < escapes[1] < escapes[2]
+        # roughly exponential: successive ratios increase
+        assert escapes[2] / escapes[1] > 1.5
+
+    def test_custom_start_distribution(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 1.0).markov_chain()
+        R = well_states(two_well_game, 0)
+        start = np.zeros(R.size)
+        # start exactly at the bottom of the well (profile 0 is in R)
+        start[np.flatnonzero(R == 0)[0]] = 1.0
+        t_bottom = escape_time_from(chain, R, start_distribution=start)
+        assert t_bottom > 0
+
+    def test_start_distribution_validation(self, two_well_game):
+        chain = LogitDynamics(two_well_game, 1.0).markov_chain()
+        R = well_states(two_well_game, 0)
+        with pytest.raises(ValueError):
+            escape_time_from(chain, R, start_distribution=np.zeros(R.size))
+        with pytest.raises(ValueError):
+            escape_time_from(chain, R, start_distribution=np.ones(3))
+
+
+class TestMetastability:
+    def test_pseudo_mixing_much_smaller_than_global_mixing(self):
+        """The metastability signature: inside one well the chain equilibrates
+        fast even when the global mixing time is huge."""
+        game = TwoWellGame(num_players=5, barrier=1.5)
+        beta = 3.0
+        chain = LogitDynamics(game, beta).markov_chain()
+        R = well_states(game, 0)
+        pseudo = pseudo_mixing_time(chain, R)
+        global_mix = measure_mixing_time(game, beta).mixing_time
+        assert pseudo < global_mix / 5
+
+    def test_metastable_report_fields(self):
+        game = Theorem35Game(6, 2.0, 1.0)
+        R = game.bottleneck_set()
+        report = metastable_report(game, beta=2.0, states=R)
+        assert set(report) == {
+            "stationary_mass",
+            "pseudo_mixing_time",
+            "expected_escape_time",
+            "qsd_survival_rate",
+            "metastability_ratio",
+        }
+        assert 0 < report["stationary_mass"] <= 0.5 + 1e-9
+        assert report["metastability_ratio"] > 1.0
+        assert 0 < report["qsd_survival_rate"] < 1

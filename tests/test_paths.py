@@ -1,0 +1,143 @@
+"""Tests for canonical paths and the comparison method (repro.markov.paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LogitDynamics
+from repro.games import CoordinationParams, GraphicalCoordinationGame
+from repro.markov.chain import MarkovChain
+from repro.markov.paths import (
+    PathFamily,
+    canonical_paths_congestion,
+    canonical_paths_relaxation_bound,
+    comparison_congestion_ratio,
+    path_edges,
+)
+from repro.markov.spectral import spectral_summary
+
+import networkx as nx
+
+
+def lazy_cycle(n: int = 5) -> MarkovChain:
+    P = np.zeros((n, n))
+    for i in range(n):
+        P[i, i] = 0.5
+        P[i, (i + 1) % n] += 0.25
+        P[i, (i - 1) % n] += 0.25
+    return MarkovChain(P)
+
+
+def cycle_path_family(n: int) -> PathFamily:
+    """Clockwise paths between every ordered pair of cycle states."""
+    paths = {}
+    for x in range(n):
+        for y in range(n):
+            if x == y:
+                continue
+            path = [x]
+            cur = x
+            while cur != y:
+                cur = (cur + 1) % n
+                path.append(cur)
+            paths[(x, y)] = path
+    return PathFamily(paths)
+
+
+class TestPathEdges:
+    def test_edges_of_path(self):
+        assert path_edges([1, 2, 5]) == [(1, 2), (2, 5)]
+
+    def test_single_state_path_has_no_edges(self):
+        assert path_edges([3]) == []
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            path_edges([])
+
+
+class TestPathFamilyValidation:
+    def test_valid_family_passes(self):
+        chain = lazy_cycle(5)
+        family = cycle_path_family(5)
+        family.validate(chain)
+
+    def test_wrong_endpoints_rejected(self):
+        chain = lazy_cycle(4)
+        family = PathFamily({(0, 2): [0, 1, 3]})
+        with pytest.raises(ValueError):
+            family.validate(chain)
+
+    def test_non_transition_edge_rejected(self):
+        chain = lazy_cycle(5)
+        family = PathFamily({(0, 2): [0, 2]})  # 0 -> 2 is not a cycle transition
+        with pytest.raises(ValueError):
+            family.validate(chain)
+
+
+class TestCanonicalPaths:
+    def test_congestion_bounds_relaxation_time(self):
+        chain = lazy_cycle(5)
+        family = cycle_path_family(5)
+        rho = canonical_paths_congestion(chain, family)
+        trel_from_lambda2 = 1.0 / (1.0 - spectral_summary(chain).lambda_2)
+        assert trel_from_lambda2 <= rho + 1e-9
+
+    def test_relaxation_bound_alias(self):
+        chain = lazy_cycle(6)
+        family = cycle_path_family(6)
+        assert canonical_paths_relaxation_bound(chain, family) == pytest.approx(
+            canonical_paths_congestion(chain, family)
+        )
+
+    def test_congestion_on_logit_chain(self, two_well_game):
+        """Bit-fixing canonical paths certify the relaxation time of the
+        two-well logit chain (Theorem 2.6 applied as in Lemma 3.7)."""
+        beta = 0.7
+        dynamics = LogitDynamics(two_well_game, beta)
+        chain = dynamics.markov_chain()
+        space = two_well_game.space
+        paths = {}
+        for x in range(space.size):
+            for y in range(space.size):
+                if x != y:
+                    paths[(x, y)] = space.bit_fixing_path(x, y)
+        family = PathFamily(paths)
+        family.validate(chain)
+        rho = canonical_paths_congestion(chain, family)
+        trel_from_lambda2 = 1.0 / (1.0 - spectral_summary(chain).lambda_2)
+        assert trel_from_lambda2 <= rho + 1e-9
+
+
+class TestComparisonTheorem:
+    def test_lemma33_style_comparison(self):
+        """Compare the logit chain at beta > 0 against beta = 0 using the
+        single-edge path family (every edge of M^0 is also an edge of M^beta),
+        and check the Theorem 2.5 inequality on relaxation times."""
+        game = GraphicalCoordinationGame(
+            nx.path_graph(3), CoordinationParams.from_deltas(1.0, 0.5)
+        )
+        beta = 0.6
+        chain_beta = LogitDynamics(game, beta).markov_chain()
+        chain_zero = LogitDynamics(game, 0.0).markov_chain()
+        space = game.space
+        paths = {}
+        P0 = chain_zero.transition_matrix
+        for x in range(space.size):
+            for y in range(space.size):
+                if x != y and P0[x, y] > 0:
+                    paths[(x, y)] = [x, y]
+        family = PathFamily(paths)
+        family.validate(chain_beta)
+        alpha, gamma = comparison_congestion_ratio(chain_beta, chain_zero, family)
+        trel_beta = 1.0 / (1.0 - spectral_summary(chain_beta).lambda_2)
+        trel_zero = 1.0 / (1.0 - spectral_summary(chain_zero).lambda_2)
+        assert trel_beta <= alpha * gamma * trel_zero + 1e-9
+
+    def test_missing_reference_edge_rejected(self):
+        chain = lazy_cycle(4)
+        reference = lazy_cycle(4)
+        family = PathFamily({(0, 1): [0, 1]})  # missing most edges
+        with pytest.raises(ValueError):
+            comparison_congestion_ratio(chain, reference, family)

@@ -1,0 +1,99 @@
+"""Tests for analysis helpers (repro.analysis.sweep, repro.analysis.report)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_value, render_experiment, render_table
+from repro.analysis.sweep import (
+    beta_sweep,
+    exponential_growth_rate,
+    size_sweep,
+)
+from repro.games import CoordinationParams, GraphicalCoordinationGame, TwoWellGame
+
+import networkx as nx
+
+
+class TestReportRendering:
+    def test_format_value_variants(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3) == "3"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(0.123456, precision=3) == "0.123"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(["a", "longer"], [[1, 2.5], [33, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # all lines have equal width
+        assert len({len(line) for line in lines}) == 1
+        assert "longer" in lines[0]
+
+    def test_render_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_experiment_contains_title_and_notes(self):
+        text = render_experiment("Theorem X", ["col"], [[1]], notes="shape holds")
+        assert "== Theorem X ==" in text
+        assert "shape holds" in text
+        assert text.endswith("\n")
+
+
+class TestGrowthRate:
+    def test_recovers_exact_exponent(self):
+        betas = np.linspace(0.0, 3.0, 7)
+        values = 5.0 * np.exp(1.7 * betas)
+        assert exponential_growth_rate(betas, values) == pytest.approx(1.7)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            exponential_growth_rate(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            exponential_growth_rate(np.array([1.0]), np.array([2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            exponential_growth_rate(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestSweeps:
+    def test_beta_sweep_records(self):
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        result = beta_sweep(game, betas=[0.0, 1.0], include_relaxation=True)
+        assert result.parameter_name == "beta"
+        assert len(result.records) == 2
+        np.testing.assert_allclose(result.parameters(), [0.0, 1.0])
+        assert np.all(result.mixing_times() > 0)
+        assert np.all(result.relaxation_times() >= 1.0)
+
+    def test_beta_sweep_extra_columns(self):
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        result = beta_sweep(
+            game,
+            betas=[0.5],
+            extra=lambda g, b: {"bound": 123.0},
+        )
+        rows = result.as_rows()
+        assert rows[0][-1] == 123.0
+
+    def test_size_sweep(self):
+        def factory(n: int):
+            return GraphicalCoordinationGame(
+                nx.cycle_graph(n), CoordinationParams.ising(1.0)
+            )
+
+        result = size_sweep(factory, sizes=[3, 4], beta=0.5, include_relaxation=False)
+        assert result.parameter_name == "n"
+        np.testing.assert_allclose(result.parameters(), [3.0, 4.0])
+        assert np.all(np.isnan(result.relaxation_times()))
+        # mixing time grows with the ring size
+        times = result.mixing_times()
+        assert times[1] >= times[0]
