@@ -6,7 +6,11 @@ at a few noise levels, and reports for each beta:
 * the exact mixing time t_mix(1/4) of the chain,
 * the relaxation time from the spectrum,
 * the paper's Theorem 5.6 upper bound and Theorem 5.7 lower bound,
-* the Gibbs stationary probability of the two consensus profiles.
+* the Gibbs stationary probability of the two consensus profiles,
+
+then re-measures the same chain with the batched ensemble engine (sampled
+TV mixing estimate and grand-coupling coalescence), showing the two
+pipelines side by side.
 
 Run with:  python examples/quickstart.py
 """
@@ -14,11 +18,13 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
 
 from repro import (
     CoordinationParams,
     GraphicalCoordinationGame,
     LogitDynamics,
+    estimate_mixing_time_ensemble,
     measure_mixing_time,
     measure_relaxation_time,
     render_table,
@@ -73,6 +79,49 @@ def main() -> None:
         "\nAs beta grows the chain spends more stationary mass on the two consensus\n"
         "profiles and the mixing time grows like e^{2 delta beta}, staying inside the\n"
         "paper's Theorem 5.6 / 5.7 sandwich."
+    )
+
+    # -- the same chain through the batched ensemble engine -----------------
+    rng = np.random.default_rng(0)
+    rows = []
+    for beta in BETAS:
+        estimate = estimate_mixing_time_ensemble(
+            game, beta, num_replicas=4096, check_every=NUM_PLAYERS, rng=rng
+        )
+        coupling = LogitDynamics(game, beta).grand_coupling(
+            start_x=(0,) * NUM_PLAYERS,
+            start_y=(1,) * NUM_PLAYERS,
+            horizon=20_000,
+            num_runs=64,
+            rng=rng,
+        )
+        rows.append(
+            [
+                beta,
+                estimate.mixing_time_estimate,
+                estimate.tv_curve[-1, 1],
+                coupling.fraction_coalesced,
+                coupling.quantile(0.75),
+            ]
+        )
+
+    print("\nSame chain, measured by the batched ensemble engine (no matrices built):")
+    print(
+        render_table(
+            [
+                "beta",
+                "t_mix (sampled, 4096 replicas)",
+                "TV at estimate",
+                "coupled pairs met",
+                "coalescence q75",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe sampled estimates track the exact column above while touching only\n"
+        "O(replicas) state per step — this is the pipeline that keeps working when\n"
+        "the profile space outgrows the dense machinery."
     )
 
 

@@ -14,6 +14,9 @@ Persiano — SPAA 2011 / arXiv:1212.1884).  The package provides:
 * :mod:`repro.core` — the logit dynamics itself, the Gibbs stationary
   measure, mixing-time measurement drivers, and every theorem-level bound
   of the paper as an explicit callable;
+* :mod:`repro.engine` — the batched, matrix-free simulation engine:
+  replica ensembles and coupled-pair ensembles advanced as flat numpy
+  arrays, which is what all Monte-Carlo entry points run on;
 * :mod:`repro.analysis` — parameter sweeps and experiment report tables.
 
 Quickstart::
@@ -32,17 +35,22 @@ from .analysis import (
     SweepRecord,
     SweepResult,
     beta_sweep,
+    ensemble_beta_sweep,
     exponential_growth_rate,
     render_experiment,
     render_table,
     size_sweep,
 )
 from .core import (
+    EnsembleMixingEstimate,
     LogitDynamics,
     MixingMeasurement,
     StructuralQuantities,
     clique_potential_barrier,
+    empirical_escape_times,
+    empirical_hitting_times,
     estimate_mixing_time_coupling,
+    estimate_mixing_time_ensemble,
     gibbs_measure,
     lemma32_relaxation_upper,
     lemma33_relaxation_upper,
@@ -86,6 +94,11 @@ from .games import (
     random_dominant_game,
     random_game,
 )
+from .engine import (
+    EnsembleSimulator,
+    maximal_coupling_update_many,
+    simulate_grand_coupling_ensemble,
+)
 from .graphs import (
     clique_graph,
     cutwidth_exact,
@@ -112,16 +125,21 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "beta_sweep",
+    "ensemble_beta_sweep",
     "exponential_growth_rate",
     "render_experiment",
     "render_table",
     "size_sweep",
     # core
+    "EnsembleMixingEstimate",
     "LogitDynamics",
     "MixingMeasurement",
     "StructuralQuantities",
     "clique_potential_barrier",
+    "empirical_escape_times",
+    "empirical_hitting_times",
     "estimate_mixing_time_coupling",
+    "estimate_mixing_time_ensemble",
     "gibbs_measure",
     "lemma32_relaxation_upper",
     "lemma33_relaxation_upper",
@@ -163,6 +181,10 @@ __all__ = [
     "TwoWellGame",
     "random_dominant_game",
     "random_game",
+    # engine
+    "EnsembleSimulator",
+    "maximal_coupling_update_many",
+    "simulate_grand_coupling_ensemble",
     # graphs
     "clique_graph",
     "cutwidth_exact",

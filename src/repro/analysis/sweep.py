@@ -17,13 +17,18 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.mixing import measure_mixing_time, measure_relaxation_time
+from ..core.mixing import (
+    estimate_mixing_time_ensemble,
+    measure_mixing_time,
+    measure_relaxation_time,
+)
 from ..games.base import Game
 
 __all__ = [
     "SweepRecord",
     "SweepResult",
     "beta_sweep",
+    "ensemble_beta_sweep",
     "size_sweep",
     "exponential_growth_rate",
 ]
@@ -88,6 +93,52 @@ def beta_sweep(
                 parameter=beta,
                 mixing_time=float(mix.mixing_time),
                 relaxation_time=float(relax),
+                extra=extras,
+            )
+        )
+    return SweepResult(parameter_name="beta", records=tuple(records))
+
+
+def ensemble_beta_sweep(
+    game: Game,
+    betas: Sequence[float],
+    num_replicas: int = 1024,
+    epsilon: float = 0.25,
+    max_time: int = 10**5,
+    rng: np.random.Generator | None = None,
+    extra: Callable[[Game, float], dict] | None = None,
+) -> SweepResult:
+    """Sampled mixing-time sweep via the batched replica ensemble.
+
+    Drop-in companion to :func:`beta_sweep` for games whose profile space is
+    beyond the dense/spectral pipeline: each grid point runs
+    :func:`~repro.core.mixing.estimate_mixing_time_ensemble` instead of the
+    exact computation.  Relaxation times are not available in this regime
+    and are reported as NaN; each record's ``extra`` carries the TV value at
+    the reported estimate and whether the run hit ``max_time``.
+    """
+    records = []
+    for beta in betas:
+        beta = float(beta)
+        estimate = estimate_mixing_time_ensemble(
+            game,
+            beta,
+            num_replicas=num_replicas,
+            epsilon=epsilon,
+            max_time=max_time,
+            rng=rng,
+        )
+        extras = {
+            "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
+            "capped": estimate.capped,
+        }
+        if extra is not None:
+            extras.update(extra(game, beta))
+        records.append(
+            SweepRecord(
+                parameter=beta,
+                mixing_time=float(estimate.mixing_time_estimate),
+                relaxation_time=float("nan"),
                 extra=extras,
             )
         )

@@ -26,12 +26,14 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from scipy.special import logsumexp
 
+from ..engine.coupled import simulate_grand_coupling_ensemble
+from ..engine.ensemble import EnsembleSimulator
+from ..engine.sampling import sample_inverse_cdf
 from ..games.base import Game
 from ..games.potential import PotentialGame
 from ..markov.chain import MarkovChain
-from ..markov.coupling import CouplingResult, simulate_grand_coupling
+from ..markov.coupling import CouplingResult
 from .stationary import gibbs_measure
 
 __all__ = ["LogitDynamics", "logit_update_distribution"]
@@ -47,8 +49,11 @@ def logit_update_distribution(utilities: np.ndarray, beta: float) -> np.ndarray:
         raise ValueError("beta must be non-negative")
     u = np.asarray(utilities, dtype=float)
     logits = beta * u
-    log_norm = logsumexp(logits, axis=-1, keepdims=True)
-    return np.exp(logits - log_norm)
+    # max-shifted softmax: overflow-safe and much cheaper than scipy's
+    # logsumexp on the hot simulation path
+    logits -= np.max(logits, axis=-1, keepdims=True)
+    weights = np.exp(logits)
+    return weights / np.sum(weights, axis=-1, keepdims=True)
 
 
 class LogitDynamics:
@@ -70,6 +75,7 @@ class LogitDynamics:
         self.game = game
         self.beta = float(beta)
         self._matrix: np.ndarray | None = None
+        self._sparse = None
         self._chain: MarkovChain | None = None
 
     # -- update rule -------------------------------------------------------
@@ -82,6 +88,17 @@ class LogitDynamics:
     def update_distribution_by_index(self, profile_index: int, player: int) -> np.ndarray:
         """``sigma_player(. | x)`` for a profile given by index."""
         utilities = self.game.utility_deviations(player, profile_index)
+        return logit_update_distribution(utilities, self.beta)
+
+    def update_distribution_many(
+        self, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched update rule: row ``j`` is ``sigma_player(. | x_j)``.
+
+        One utility gather and one row-wise softmax for the whole batch —
+        the building block the ensemble engine drives.
+        """
+        utilities = self.game.utility_deviations_many(player, profile_indices)
         return logit_update_distribution(utilities, self.beta)
 
     def player_update_matrix(self, player: int) -> np.ndarray:
@@ -122,8 +139,11 @@ class LogitDynamics:
         The logit chain has at most ``sum_i m_i`` non-zeros per row, so the
         sparse representation scales to profile spaces far beyond the dense
         cap; see :mod:`repro.markov.sparse` for the matching measurement
-        tools.
+        tools.  Cached on first build, like the dense matrix and the
+        :class:`~repro.markov.MarkovChain` wrapper.
         """
+        if self._sparse is not None:
+            return self._sparse
         import scipy.sparse as sp
 
         space = self.game.space
@@ -147,7 +167,8 @@ class LogitDynamics:
             ),
             shape=(size, size),
         )
-        return matrix.tocsr()
+        self._sparse = matrix.tocsr()
+        return self._sparse
 
     def sparse_markov_chain(self):
         """The chain wrapped as a :class:`repro.markov.sparse.SparseMarkovChain`."""
@@ -175,6 +196,25 @@ class LogitDynamics:
 
     # -- simulation (matrix-free) -------------------------------------------
 
+    def ensemble(
+        self,
+        num_replicas: int,
+        start: Sequence[int] | np.ndarray | int | None = None,
+        rng: np.random.Generator | None = None,
+        mode: str = "auto",
+        start_indices: np.ndarray | None = None,
+    ) -> EnsembleSimulator:
+        """A batched :class:`~repro.engine.EnsembleSimulator` of this chain.
+
+        ``num_replicas`` independent copies of the dynamics advanced as one
+        flat index array — the scaling entry point for Monte-Carlo mixing,
+        hitting-time and metastability experiments.
+        """
+        return EnsembleSimulator(
+            self, num_replicas, start=start, rng=rng, mode=mode,
+            start_indices=start_indices,
+        )
+
     def simulate(
         self,
         start: Sequence[int] | np.ndarray,
@@ -186,7 +226,29 @@ class LogitDynamics:
 
         Returns the recorded profiles as an ``(k, n)`` int array where the
         first row is the start profile and subsequent rows are snapshots
-        every ``record_every`` steps.
+        every ``record_every`` steps.  Runs on the batched engine with a
+        single replica; given the same generator state it reproduces
+        :meth:`simulate_loop` exactly.
+        """
+        start = np.asarray(start, dtype=np.int64)
+        if start.shape != (self.game.space.num_players,):
+            raise ValueError("start profile has wrong length")
+        sim = self.ensemble(1, start=start, rng=rng, mode="matrix_free")
+        snapshots = sim.run(num_steps, record_every=max(int(record_every), 1))
+        return snapshots[:, 0, :]
+
+    def simulate_loop(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Single-replica pure-Python reference implementation of :meth:`simulate`.
+
+        Kept as the ground truth the batched engine is tested and benchmarked
+        against; simulation workloads should call :meth:`simulate` or
+        :meth:`ensemble` instead.
         """
         rng = np.random.default_rng() if rng is None else rng
         record_every = max(int(record_every), 1)
@@ -200,9 +262,7 @@ class LogitDynamics:
         for t in range(num_steps):
             i = int(players[t])
             probs = self.update_distribution(profile, i)
-            cumulative = np.cumsum(probs)
-            profile[i] = int(np.searchsorted(cumulative, uniforms[t], side="right"))
-            profile[i] = min(profile[i], space.num_strategies[i] - 1)
+            profile[i] = sample_inverse_cdf(probs, uniforms[t])
             if (t + 1) % record_every == 0:
                 snapshots.append(profile.copy())
         return np.asarray(snapshots, dtype=np.int64)
@@ -215,21 +275,12 @@ class LogitDynamics:
         max_steps: int = 10**6,
     ) -> int:
         """Steps until the trajectory first hits ``target_index`` (or -1)."""
-        rng = np.random.default_rng() if rng is None else rng
-        profile = np.asarray(start, dtype=np.int64).copy()
-        space = self.game.space
-        target = np.asarray(space.decode(target_index), dtype=np.int64)
-        if np.array_equal(profile, target):
-            return 0
-        for t in range(1, max_steps + 1):
-            i = int(rng.integers(0, space.num_players))
-            probs = self.update_distribution(profile, i)
-            cumulative = np.cumsum(probs)
-            profile[i] = int(np.searchsorted(cumulative, rng.random(), side="right"))
-            profile[i] = min(profile[i], space.num_strategies[i] - 1)
-            if np.array_equal(profile, target):
-                return t
-        return -1
+        # matrix_free: gather mode's per-player precompute is never worth it
+        # for one lone trajectory
+        sim = self.ensemble(
+            1, start=np.asarray(start, dtype=np.int64), rng=rng, mode="matrix_free"
+        )
+        return int(sim.hitting_times(int(target_index), max_steps=max_steps)[0])
 
     def grand_coupling(
         self,
@@ -244,17 +295,12 @@ class LogitDynamics:
         This is the coupling used in the proofs of Theorems 3.6 and 4.2:
         both copies pick the same player and the same uniform variable, and
         map it through their own logit update distribution via the maximal
-        overlap construction.
+        overlap construction.  All ``num_runs`` coupled pairs are advanced
+        simultaneously by the batched engine
+        (:func:`repro.engine.simulate_grand_coupling_ensemble`).
         """
-        space = self.game.space
-
-        def update(profile: np.ndarray, player: int) -> np.ndarray:
-            return self.update_distribution(profile, player)
-
-        return simulate_grand_coupling(
-            num_players=space.num_players,
-            num_strategies=space.num_strategies,
-            update_distribution=update,
+        return simulate_grand_coupling_ensemble(
+            self,
             start_x=np.asarray(start_x, dtype=np.int64),
             start_y=np.asarray(start_y, dtype=np.int64),
             horizon=horizon,

@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from ..games.base import Game
+from ..games.potential import PotentialGame
 from ..markov.chain import MarkovChain
 from ..markov.tv import total_variation
 from .logit import LogitDynamics
@@ -41,6 +42,8 @@ __all__ = [
     "conditional_stationary",
     "quasi_stationary_distribution",
     "escape_time_from",
+    "empirical_escape_times",
+    "empirical_hitting_times",
     "pseudo_mixing_time",
     "metastable_report",
 ]
@@ -140,6 +143,93 @@ def escape_time_from(
             raise ValueError("start_distribution must have positive mass")
         start = start / total
     return float(start @ h)
+
+
+def _conditional_gibbs_starts(
+    game: Game,
+    beta: float,
+    idx: np.ndarray,
+    num_replicas: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample replica start indices from pi conditioned on the set ``idx``.
+
+    For potential games the conditional Gibbs weights come straight from the
+    potential vector (no transition matrix needed); otherwise the start is
+    uniform over the set, which is the standard choice when the stationary
+    distribution is unavailable in closed form.
+    """
+    if isinstance(game, PotentialGame):
+        phi = game.potential_vector()[idx]
+        logw = -float(beta) * (phi - phi.min())
+        weights = np.exp(logw)
+        weights /= weights.sum()
+    else:
+        weights = np.full(idx.size, 1.0 / idx.size)
+    return rng.choice(idx, size=num_replicas, p=weights)
+
+
+def empirical_escape_times(
+    game: Game,
+    beta: float,
+    states: Sequence[int] | np.ndarray,
+    num_replicas: int = 128,
+    max_steps: int = 10**6,
+    start_distribution: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Monte-Carlo exit times of the well ``R``, one per replica.
+
+    A matrix-free, ensemble-based counterpart of :func:`escape_time_from`:
+    ``num_replicas`` independent copies of the chain start inside ``R``
+    (from the conditional Gibbs measure for potential games, or from the
+    given ``start_distribution`` over ``R``) and all are advanced in bulk by
+    the batched engine until they first leave the set.  Entries equal to
+    ``-1`` mean the replica had not escaped within ``max_steps`` — for a
+    deep well at large ``beta`` that is the expected outcome and is itself
+    evidence of metastability.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    idx = _validate_subset(states, game.space.size)
+    if start_distribution is None:
+        starts = _conditional_gibbs_starts(game, beta, idx, num_replicas, rng)
+    else:
+        weights = np.asarray(start_distribution, dtype=float)
+        if weights.shape != (idx.size,):
+            raise ValueError("start_distribution must be indexed within R")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("start_distribution must have positive mass")
+        starts = rng.choice(idx, size=num_replicas, p=weights / total)
+    dynamics = LogitDynamics(game, beta)
+    sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
+    return sim.exit_times(idx, max_steps=max_steps)
+
+
+def empirical_hitting_times(
+    game: Game,
+    beta: float,
+    start: Sequence[int] | int,
+    targets: Sequence[int] | np.ndarray | int,
+    num_replicas: int = 128,
+    max_steps: int = 10**6,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Monte-Carlo first-hitting times of a profile set, one per replica.
+
+    The metastability picture of the paper's slow-mixing regimes (e.g. the
+    tunnelling time from one consensus well of a coordination game to the
+    other) is exactly a hitting time of a set; this runs all replicas
+    simultaneously on the batched engine.  ``-1`` entries mean the target
+    set was not reached within ``max_steps``.
+    """
+    dynamics = LogitDynamics(game, beta)
+    if isinstance(start, (int, np.integer)):
+        start_state: np.ndarray | int = int(start)
+    else:
+        start_state = np.asarray(start, dtype=np.int64)
+    sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng)
+    return sim.hitting_times(targets, max_steps=max_steps)
 
 
 def pseudo_mixing_time(

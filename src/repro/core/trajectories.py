@@ -87,15 +87,12 @@ def hitting_time_samples(
     """Monte-Carlo samples of the hitting time of ``target_index`` from ``start``.
 
     Entries equal to ``-1`` mean the target was not hit within ``max_steps``.
+    All samples are drawn in parallel — the ``num_samples`` trajectories run
+    as one replica ensemble on the batched engine.
     """
-    rng = np.random.default_rng() if rng is None else rng
     dynamics = LogitDynamics(game, beta)
-    samples = np.empty(num_samples, dtype=np.int64)
-    for k in range(num_samples):
-        samples[k] = dynamics.simulate_hitting_time(
-            start, target_index, rng=rng, max_steps=max_steps
-        )
-    return samples
+    sim = dynamics.ensemble(num_samples, start=np.asarray(start, dtype=np.int64), rng=rng)
+    return sim.hitting_times(int(target_index), max_steps=max_steps)
 
 
 def expected_hitting_time_exact(

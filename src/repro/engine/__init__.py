@@ -1,0 +1,26 @@
+"""Batched, matrix-free simulation engine for single-site update dynamics.
+
+This subsystem is the package's scaling layer: it advances ensembles of
+replicas (and ensembles of coupled pairs) as flat numpy index arrays instead
+of looping over single steps in Python, which is what lets the Monte-Carlo
+estimators reach the regimes the paper's theorems are actually about.
+
+* :class:`~repro.engine.ensemble.EnsembleSimulator` — ``R`` independent
+  replicas advanced in bulk, with an optional small-space gather mode;
+* :func:`~repro.engine.coupled.simulate_grand_coupling_ensemble` — all
+  coupled pairs of the paper's grand coupling advanced simultaneously;
+* :mod:`~repro.engine.sampling` — the shared inverse-CDF primitive that
+  keeps the loop reference and the batched paths bit-identical.
+"""
+
+from .coupled import maximal_coupling_update_many, simulate_grand_coupling_ensemble
+from .ensemble import EnsembleSimulator
+from .sampling import sample_from_cumulative, sample_inverse_cdf
+
+__all__ = [
+    "EnsembleSimulator",
+    "maximal_coupling_update_many",
+    "simulate_grand_coupling_ensemble",
+    "sample_from_cumulative",
+    "sample_inverse_cdf",
+]

@@ -1,0 +1,304 @@
+"""Batched, matrix-free simulation of single-site update dynamics.
+
+The Monte-Carlo entry points of the package used to advance one replica of
+the chain one step at a time in pure Python, which caps experiments at toy
+sizes exactly where the paper's claims are about *scaling*.
+:class:`EnsembleSimulator` removes that cap: it holds ``R`` independent
+replicas of the chain as a single ``(R,)`` array of profile indices and
+advances all of them per step with a handful of numpy operations:
+
+1. draw all selected players and all uniforms for the step in bulk,
+2. group replicas by selected player (one stable argsort),
+3. per player, gather the ``(k, m_i)`` utility rows with one fancy-indexed
+   lookup (:meth:`repro.games.Game.utility_deviations_many`), apply the
+   logit softmax row-wise, and
+4. map the uniforms through the row-wise inverse CDF
+   (:func:`repro.engine.sampling.sample_from_cumulative`).
+
+Two execution modes are supported:
+
+* *matrix-free* — utilities are produced on demand per step; memory is
+  ``O(R * m)`` regardless of the profile-space size;
+* *gather* (small-space mode) — each player's full update matrix
+  ``sigma_i(. | x)`` over all profiles is precomputed once (cumulative sums
+  included), after which a step is a pure indexed gather with no utility or
+  softmax work at all.  Worth it whenever ``|S|`` fits in memory and many
+  steps are simulated, which is the common benchmarking regime.
+
+Replicas are statistically independent: grouping them by selected player
+within a step is exact, not an approximation, because each replica receives
+exactly one single-site update per step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..games.space import DENSE_PROFILE_CAP
+from .sampling import sample_from_cumulative, sample_inverse_cdf
+
+__all__ = ["EnsembleSimulator"]
+
+
+class EnsembleSimulator:
+    """Vectorised ensemble of replicas of a single-site update chain.
+
+    Parameters
+    ----------
+    dynamics:
+        The dynamics to simulate.  Any object exposing ``game`` (a
+        :class:`~repro.games.Game`), ``update_distribution_many(player,
+        profile_indices)`` and — for the gather mode —
+        ``player_update_matrix(player)`` works;
+        :class:`~repro.core.logit.LogitDynamics` is the canonical provider.
+    num_replicas:
+        Number of independent replicas ``R``.
+    start:
+        Initial state of the ensemble: ``None`` (all replicas at profile
+        index 0), a single profile index, an ``(n,)`` strategy profile
+        broadcast to every replica, or an ``(R, n)`` array of per-replica
+        profiles.  A 1-D array is *always* read as a strategy profile; to
+        start each replica at its own profile index use ``start_indices``
+        (keeping the two channels separate avoids a silent ambiguity when
+        ``R == n``).
+    start_indices:
+        ``(R,)`` array of per-replica profile indices; mutually exclusive
+        with ``start``.
+    rng:
+        Numpy random generator (a fresh default generator if omitted).
+    mode:
+        ``"matrix_free"``, ``"gather"``, or ``"auto"`` (gather when the
+        profile space has at most ``gather_cap`` profiles).
+    gather_cap:
+        Small-space threshold used by ``mode="auto"``.
+    """
+
+    def __init__(
+        self,
+        dynamics,
+        num_replicas: int,
+        start: Sequence[int] | np.ndarray | int | None = None,
+        rng: np.random.Generator | None = None,
+        mode: str = "auto",
+        gather_cap: int = 1 << 16,
+        start_indices: np.ndarray | None = None,
+    ):
+        if num_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.dynamics = dynamics
+        self.game = dynamics.game
+        self.space = self.game.space
+        self.num_replicas = int(num_replicas)
+        self.rng = np.random.default_rng() if rng is None else rng
+        if mode == "auto":
+            mode = "gather" if self.space.size <= gather_cap else "matrix_free"
+        if mode not in ("gather", "matrix_free"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "gather" and self.space.size > DENSE_PROFILE_CAP:
+            raise ValueError(
+                f"gather mode precomputes (|S|, m) update matrices but the "
+                f"space has {self.space.size} profiles; use matrix_free"
+            )
+        self.mode = mode
+        self._cum_cache: dict[int, np.ndarray] = {}
+        self.reset(start, start_indices=start_indices)
+
+    # -- state ------------------------------------------------------------
+
+    def reset(
+        self,
+        start: Sequence[int] | np.ndarray | int | None = None,
+        *,
+        start_indices: np.ndarray | None = None,
+    ) -> None:
+        """(Re-)initialise every replica from ``start`` (see class docs)."""
+        R = self.num_replicas
+        n = self.space.num_players
+        if start_indices is not None:
+            if start is not None:
+                raise ValueError("pass either start or start_indices, not both")
+            arr = np.asarray(start_indices, dtype=np.int64)
+            if arr.shape != (R,):
+                raise ValueError(
+                    f"start_indices must have shape ({R},), got {arr.shape}"
+                )
+            if arr.size and (arr.min() < 0 or arr.max() >= self.space.size):
+                raise ValueError("start profile index out of range")
+            self._indices = arr.copy()
+            return
+        if start is None:
+            self._indices = np.zeros(R, dtype=np.int64)
+            return
+        if isinstance(start, (int, np.integer)):
+            if not 0 <= int(start) < self.space.size:
+                raise ValueError("start profile index out of range")
+            self._indices = np.full(R, int(start), dtype=np.int64)
+            return
+        arr = np.asarray(start, dtype=np.int64)
+        if arr.ndim == 1 and arr.shape == (n,):
+            self._indices = np.full(R, self.space.encode(arr), dtype=np.int64)
+        elif arr.ndim == 2 and arr.shape == (R, n):
+            self._indices = self.space.encode_many(arr)
+        else:
+            raise ValueError(
+                f"start must be None, a profile index, an ({n},) profile or an "
+                f"({R}, {n}) profile array (per-replica indices go through "
+                f"start_indices); got shape {arr.shape}"
+            )
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Current profile indices of the replicas (``(R,)`` copy)."""
+        return self._indices.copy()
+
+    @property
+    def profiles(self) -> np.ndarray:
+        """Current strategy profiles of the replicas (``(R, n)``)."""
+        return self.space.decode_many(self._indices)
+
+    def empirical_distribution(self) -> np.ndarray:
+        """Occupation frequencies of the ensemble over profile indices."""
+        if self.space.size > DENSE_PROFILE_CAP:
+            raise ValueError(
+                "empirical_distribution materialises a (|S|,) histogram; the "
+                f"profile space has {self.space.size} profiles"
+            )
+        counts = np.bincount(self._indices, minlength=self.space.size)
+        return counts / self.num_replicas
+
+    # -- stepping ---------------------------------------------------------
+
+    def _cumulative_update_matrix(self, player: int) -> np.ndarray:
+        """Cached ``(|S|, m_player)`` cumulative update probabilities."""
+        cum = self._cum_cache.get(player)
+        if cum is None:
+            probs = self.dynamics.player_update_matrix(player)
+            cum = np.cumsum(probs, axis=1)
+            self._cum_cache[player] = cum
+        return cum
+
+    def _advance_batch(
+        self,
+        players: np.ndarray,
+        uniforms: np.ndarray,
+        where: np.ndarray | None = None,
+    ) -> None:
+        """Apply one single-site update to each selected replica.
+
+        ``players`` and ``uniforms`` are ``(k,)`` arrays aligned with
+        ``where`` (``(k,)`` replica positions; all replicas when ``None``).
+        """
+        if players.size == 1:
+            # single-replica fast path: no grouping machinery
+            groups = [np.zeros(1, dtype=np.int64)]
+        else:
+            order = np.argsort(players, kind="stable")
+            boundaries = np.flatnonzero(np.diff(players[order])) + 1
+            groups = np.split(order, boundaries)
+        for group in groups:
+            player = int(players[group[0]])
+            sel = group if where is None else where[group]
+            idx = self._indices[sel]
+            if self.mode == "gather":
+                cum = self._cumulative_update_matrix(player)[idx]
+                chosen = sample_from_cumulative(cum, uniforms[group])
+            else:
+                probs = self.dynamics.update_distribution_many(player, idx)
+                chosen = sample_inverse_cdf(probs, uniforms[group])
+            self._indices[sel] = self.space.set_strategy_many(idx, player, chosen)
+
+    def step(self) -> None:
+        """Advance every replica by one step of the dynamics."""
+        k = self.num_replicas
+        players = self.rng.integers(0, self.space.num_players, size=k)
+        uniforms = self.rng.random(k)
+        self._advance_batch(players, uniforms)
+
+    def run(self, num_steps: int, record_every: int | None = None) -> np.ndarray | None:
+        """Advance the ensemble ``num_steps`` steps, optionally recording.
+
+        All players and uniforms for the whole run are drawn up front
+        (players first, then uniforms), so for ``R = 1`` the random stream —
+        and hence the trajectory — is *identical* to the single-replica
+        reference loop :meth:`repro.core.logit.LogitDynamics.simulate_loop`
+        under the same generator state.
+
+        Returns ``None`` when ``record_every`` is ``None``; otherwise the
+        recorded snapshots as a ``(k, R, n)`` int array whose first entry is
+        the state on entry and subsequent entries are snapshots every
+        ``record_every`` steps.
+        """
+        if num_steps < 0:
+            raise ValueError("num_steps must be non-negative")
+        R = self.num_replicas
+        players = self.rng.integers(0, self.space.num_players, size=(num_steps, R))
+        uniforms = self.rng.random((num_steps, R))
+        snapshots: list[np.ndarray] | None = None
+        if record_every is not None:
+            record_every = max(int(record_every), 1)
+            snapshots = [self._indices.copy()]
+        for t in range(num_steps):
+            self._advance_batch(players[t], uniforms[t])
+            if snapshots is not None and (t + 1) % record_every == 0:
+                snapshots.append(self._indices.copy())
+        if snapshots is None:
+            return None
+        # one vectorised decode for all recorded states: (k, R) -> (k, R, n)
+        recorded = np.asarray(snapshots, dtype=np.int64)
+        decoded = self.space.decode_many(recorded.ravel())
+        return decoded.reshape(recorded.shape[0], R, self.space.num_players)
+
+    # -- first-passage observables ----------------------------------------
+
+    def _first_times(
+        self, in_target: Callable[[np.ndarray], np.ndarray], max_steps: int
+    ) -> np.ndarray:
+        """Per-replica first time ``in_target`` holds (``-1`` if never).
+
+        Replicas that reach the target stop being advanced; the others keep
+        their own independent randomness.  Mutates the ensemble state.
+        """
+        times = np.full(self.num_replicas, -1, dtype=np.int64)
+        inside = in_target(self._indices)
+        times[inside] = 0
+        active = np.flatnonzero(~inside)
+        n = self.space.num_players
+        for t in range(1, max_steps + 1):
+            if active.size == 0:
+                break
+            players = self.rng.integers(0, n, size=active.size)
+            uniforms = self.rng.random(active.size)
+            self._advance_batch(players, uniforms, where=active)
+            hit = in_target(self._indices[active])
+            times[active[hit]] = t
+            active = active[~hit]
+        return times
+
+    def hitting_times(
+        self, targets: int | Sequence[int] | np.ndarray, max_steps: int = 10**6
+    ) -> np.ndarray:
+        """First time each replica hits a target profile (``-1`` if never).
+
+        ``targets`` is one profile index or an array of them; hitting any of
+        them counts.  Replicas already at a target report 0.
+        """
+        target_arr = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+        if target_arr.size == 1:
+            target = int(target_arr[0])
+            return self._first_times(lambda idx: idx == target, max_steps)
+        return self._first_times(lambda idx: np.isin(idx, target_arr), max_steps)
+
+    def exit_times(
+        self, states: Sequence[int] | np.ndarray, max_steps: int = 10**6
+    ) -> np.ndarray:
+        """First time each replica leaves the profile set (``-1`` if never)."""
+        inside = np.unique(np.asarray(states, dtype=np.int64))
+        return self._first_times(lambda idx: ~np.isin(idx, inside), max_steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnsembleSimulator(replicas={self.num_replicas}, mode={self.mode!r}, "
+            f"game={self.game!r})"
+        )

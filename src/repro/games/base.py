@@ -77,6 +77,25 @@ class Game(abc.ABC):
         devs = self.space.deviations(profile_index, player)
         return np.array([self.utility(player, int(d)) for d in devs], dtype=float)
 
+    def utility_deviations_many(
+        self, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`utility_deviations`: ``(k, m_player)`` utilities.
+
+        Row ``j`` is ``(u_player(s, x_-i))_s`` for the profile
+        ``profile_indices[j]``.  This is the hot call of the batched
+        simulation engine (:mod:`repro.engine`): the generic fallback loops
+        over the batch, performance-sensitive subclasses override it with a
+        single vectorised gather.
+        """
+        idx = np.asarray(profile_indices, dtype=np.int64)
+        m = self.space.num_strategies[player]
+        if idx.size == 0:
+            return np.empty((0, m), dtype=float)
+        return np.stack(
+            [self.utility_deviations(player, int(x)) for x in idx], axis=0
+        )
+
     def utility_matrix(self, player: int) -> np.ndarray:
         """Full utility vector of ``player`` indexed by profile index."""
         return np.array(
@@ -106,15 +125,20 @@ class TableGame(Game):
     Parameters
     ----------
     num_strategies:
-        Per-player strategy counts.
+        Per-player strategy counts, or an existing :class:`ProfileSpace`
+        (reused as-is, so subclasses that already built one for tabulation
+        don't construct a second identical space).
     utilities:
         Array of shape ``(n, |S|)``; ``utilities[i, x]`` is ``u_i`` at the
         profile with index ``x`` (see :class:`~repro.games.space.ProfileSpace`
         for the indexing convention).
     """
 
-    def __init__(self, num_strategies: Sequence[int], utilities: np.ndarray):
-        self.space = ProfileSpace(num_strategies)
+    def __init__(self, num_strategies: Sequence[int] | ProfileSpace, utilities: np.ndarray):
+        if isinstance(num_strategies, ProfileSpace):
+            self.space = num_strategies
+        else:
+            self.space = ProfileSpace(num_strategies)
         utilities = np.asarray(utilities, dtype=float)
         expected = (self.space.num_players, self.space.size)
         if utilities.shape != expected:
@@ -148,6 +172,13 @@ class TableGame(Game):
 
     def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
         devs = self.space.deviations(profile_index, player)
+        return self._utilities[player, devs]
+
+    def utility_deviations_many(
+        self, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        # One fancy-indexed gather for the whole batch: (k, m_player).
+        devs = self.space.deviations_many(profile_indices, player)
         return self._utilities[player, devs]
 
     @property

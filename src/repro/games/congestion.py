@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .potential import PotentialGame
+from .potential import ExplicitPotentialGame
 from .space import ProfileSpace
 
 __all__ = ["CongestionGame", "SingletonCongestionGame", "linear_delays"]
@@ -30,7 +30,7 @@ def linear_delays(num_resources: int, slope: float = 1.0, offset: float = 0.0) -
     return [lambda k, s=slope, o=offset: s * k + o for _ in range(num_resources)]
 
 
-class CongestionGame(PotentialGame):
+class CongestionGame(ExplicitPotentialGame):
     """General congestion game with resource subsets as strategies.
 
     Parameters
@@ -66,7 +66,8 @@ class CongestionGame(PotentialGame):
         self.num_resources = num_resources
         self.delays = list(delays)
         self.space = ProfileSpace(tuple(len(p) for p in self._strategy_resources))
-        self._utilities, self._phi = self._tabulate()
+        utilities, phi = self._tabulate()
+        super().__init__(self.space, utilities, phi)
 
     # -- tabulation --------------------------------------------------------
 
@@ -97,21 +98,6 @@ class CongestionGame(PotentialGame):
                 cost = float(np.sum(delay_table[res, loads[res]]))
                 utilities[player, x] = -cost
         return utilities, phi
-
-    # -- Game / PotentialGame interface ------------------------------------
-
-    def utility(self, player: int, profile_index: int) -> float:
-        return float(self._utilities[player, profile_index])
-
-    def utility_matrix(self, player: int) -> np.ndarray:
-        return self._utilities[player].copy()
-
-    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
-        devs = self.space.deviations(profile_index, player)
-        return self._utilities[player, devs]
-
-    def potential_vector(self) -> np.ndarray:
-        return self._phi.copy()
 
 
 class SingletonCongestionGame(CongestionGame):

@@ -32,7 +32,7 @@ from typing import Iterable, Sequence
 import networkx as nx
 import numpy as np
 
-from .potential import PotentialGame
+from .potential import ExplicitPotentialGame
 from .space import ProfileSpace
 
 __all__ = [
@@ -108,36 +108,29 @@ def basic_coordination_payoffs(params: CoordinationParams) -> tuple[np.ndarray, 
     return row, col
 
 
-class TwoPlayerCoordinationGame(PotentialGame):
-    """The basic two-player coordination game of Equation (10)."""
+class TwoPlayerCoordinationGame(ExplicitPotentialGame):
+    """The basic two-player coordination game of Equation (10).
+
+    Backed by :class:`~repro.games.potential.ExplicitPotentialGame`, so the
+    dense utility storage, the potential accessors and the batched
+    ``utility_deviations_many`` fast path are all inherited.
+    """
 
     def __init__(self, params: CoordinationParams):
         self.params = params
-        self.space = ProfileSpace((2, 2))
+        space = ProfileSpace((2, 2))
         row, col = basic_coordination_payoffs(params)
-        self._utilities = np.empty((2, 4), dtype=float)
-        self._phi = np.empty(4, dtype=float)
+        utilities = np.empty((2, 4), dtype=float)
+        phi = np.empty(4, dtype=float)
         for x in range(4):
-            s0, s1 = self.space.decode(x)
-            self._utilities[0, x] = row[s0, s1]
-            self._utilities[1, x] = col[s0, s1]
-            self._phi[x] = params.edge_potential(s0, s1)
-
-    def utility(self, player: int, profile_index: int) -> float:
-        return float(self._utilities[player, profile_index])
-
-    def utility_matrix(self, player: int) -> np.ndarray:
-        return self._utilities[player].copy()
-
-    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
-        devs = self.space.deviations(profile_index, player)
-        return self._utilities[player, devs]
-
-    def potential_vector(self) -> np.ndarray:
-        return self._phi.copy()
+            s0, s1 = space.decode(x)
+            utilities[0, x] = row[s0, s1]
+            utilities[1, x] = col[s0, s1]
+            phi[x] = params.edge_potential(s0, s1)
+        super().__init__(space, utilities, phi)
 
 
-class GraphicalCoordinationGame(PotentialGame):
+class GraphicalCoordinationGame(ExplicitPotentialGame):
     """Graphical coordination game on an arbitrary social graph.
 
     Parameters
@@ -165,11 +158,11 @@ class GraphicalCoordinationGame(PotentialGame):
         self._node_index = {node: i for i, node in enumerate(nodes)}
         self.graph = nx.relabel_nodes(graph, self._node_index, copy=True)
         n = self.graph.number_of_nodes()
-        self.space = ProfileSpace((2,) * n)
+        space = ProfileSpace((2,) * n)
 
-        profiles = self.space.all_profiles()  # (|S|, n) of 0/1
-        utilities = np.zeros((n, self.space.size), dtype=float)
-        phi = np.zeros(self.space.size, dtype=float)
+        profiles = space.all_profiles()  # (|S|, n) of 0/1
+        utilities = np.zeros((n, space.size), dtype=float)
+        phi = np.zeros(space.size, dtype=float)
         row, _ = basic_coordination_payoffs(params)
         for u, v in self.graph.edges():
             su = profiles[:, u]
@@ -180,23 +173,7 @@ class GraphicalCoordinationGame(PotentialGame):
             both0 = (su == 0) & (sv == 0)
             both1 = (su == 1) & (sv == 1)
             phi -= params.delta0 * both0 + params.delta1 * both1
-        self._utilities = utilities
-        self._phi = phi
-
-    # -- Game interface ---------------------------------------------------
-
-    def utility(self, player: int, profile_index: int) -> float:
-        return float(self._utilities[player, profile_index])
-
-    def utility_matrix(self, player: int) -> np.ndarray:
-        return self._utilities[player].copy()
-
-    def utility_deviations(self, player: int, profile_index: int) -> np.ndarray:
-        devs = self.space.deviations(profile_index, player)
-        return self._utilities[player, devs]
-
-    def potential_vector(self) -> np.ndarray:
-        return self._phi.copy()
+        super().__init__(space, utilities, phi)
 
     # -- paper-specific structure -----------------------------------------
 

@@ -15,12 +15,21 @@ moves along a Hamming edge or stays put) and for proof constructions
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["ProfileSpace", "hamming_distance"]
+__all__ = ["ProfileSpace", "hamming_distance", "DENSE_PROFILE_CAP"]
+
+#: Largest profile index representable with int64 vectorised arithmetic.
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Cap on |S| for methods that materialise O(|S|)-sized arrays
+#: (``all_profiles``, ``deviation_matrix``, ``hamming_edges``).  Beyond it a
+#: clear error is raised instead of an opaque MemoryError deep inside numpy.
+DENSE_PROFILE_CAP = 1 << 28
 
 
 def hamming_distance(x: Sequence[int], y: Sequence[int]) -> int:
@@ -55,6 +64,7 @@ class ProfileSpace:
 
     num_strategies: tuple[int, ...]
     _radices: np.ndarray = field(init=False, repr=False, compare=False)
+    _size: int = field(init=False, repr=False, compare=False)
 
     def __init__(self, num_strategies: Iterable[int]):
         ms = tuple(int(m) for m in num_strategies)
@@ -63,9 +73,21 @@ class ProfileSpace:
         if any(m < 1 for m in ms):
             raise ValueError(f"every player needs at least one strategy, got {ms}")
         object.__setattr__(self, "num_strategies", ms)
-        radices = np.ones(len(ms), dtype=np.int64)
-        for i in range(1, len(ms)):
-            radices[i] = radices[i - 1] * ms[i - 1]
+        # Exact Python-int product: np.prod would silently wrap around int64
+        # for very large spaces (e.g. 3**50 players*strategies combinations).
+        size = math.prod(ms)
+        object.__setattr__(self, "_size", size)
+        if size <= _INT64_MAX:
+            radices = np.ones(len(ms), dtype=np.int64)
+            for i in range(1, len(ms)):
+                radices[i] = radices[i - 1] * ms[i - 1]
+        else:
+            # Exact Python-int radices: scalar encode/decode keep working,
+            # the vectorised int64 paths raise a clear error instead.
+            values: list[int] = [1]
+            for i in range(1, len(ms)):
+                values.append(values[-1] * ms[i - 1])
+            radices = np.array(values, dtype=object)
         object.__setattr__(self, "_radices", radices)
 
     # -- basic shape ------------------------------------------------------
@@ -77,8 +99,8 @@ class ProfileSpace:
 
     @property
     def size(self) -> int:
-        """Total number of strategy profiles ``|S|``."""
-        return int(np.prod(np.asarray(self.num_strategies, dtype=np.int64)))
+        """Total number of strategy profiles ``|S|`` (an exact Python int)."""
+        return self._size
 
     @property
     def max_strategies(self) -> int:
@@ -104,10 +126,13 @@ class ProfileSpace:
         ms = np.asarray(self.num_strategies, dtype=np.int64)
         if np.any(arr < 0) or np.any(arr >= ms):
             raise ValueError(f"profile {tuple(arr)} out of range for radices {self.num_strategies}")
+        if self._radices.dtype == object:
+            return sum(int(s) * int(r) for s, r in zip(arr, self._radices))
         return int(arr @ self._radices)
 
     def encode_many(self, profiles: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`encode` for an ``(k, n)`` array of profiles."""
+        self._require_int64("encode_many")
         arr = np.asarray(profiles, dtype=np.int64)
         if arr.ndim != 2 or arr.shape[1] != self.num_players:
             raise ValueError(f"expected shape (k, {self.num_players}), got {arr.shape}")
@@ -126,6 +151,7 @@ class ProfileSpace:
 
     def decode_many(self, indices: np.ndarray | Sequence[int]) -> np.ndarray:
         """Vectorised :meth:`decode`: returns a ``(k, n)`` int array."""
+        self._require_int64("decode_many")
         idx = np.asarray(indices, dtype=np.int64)
         if np.any(idx < 0) or np.any(idx >= self.size):
             raise ValueError("profile index out of range")
@@ -138,6 +164,7 @@ class ProfileSpace:
 
     def all_profiles(self) -> np.ndarray:
         """Return the full ``(|S|, n)`` array of profiles in index order."""
+        self._require_dense("all_profiles")
         return self.decode_many(np.arange(self.size, dtype=np.int64))
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
@@ -152,6 +179,10 @@ class ProfileSpace:
     def strategy_of(self, indices: np.ndarray | int, player: int) -> np.ndarray | int:
         """Strategy of ``player`` in the profile(s) with the given index/indices."""
         self._check_player(player)
+        if isinstance(indices, (int, np.integer)):
+            # Pure-Python arithmetic so that spaces beyond int64 still work.
+            return int((int(indices) // int(self._radices[player])) % self.num_strategies[player])
+        self._require_int64("strategy_of on index arrays")
         idx = np.asarray(indices, dtype=np.int64)
         res = (idx // self._radices[player]) % self.num_strategies[player]
         if np.isscalar(indices) or getattr(indices, "ndim", 1) == 0:
@@ -172,9 +203,33 @@ class ProfileSpace:
     def replace_many(self, indices: np.ndarray, player: int, strategy: int) -> np.ndarray:
         """Vectorised :meth:`replace` over an array of profile indices."""
         self._check_player(player)
+        self._require_int64("replace_many")
         idx = np.asarray(indices, dtype=np.int64)
         current = (idx // self._radices[player]) % self.num_strategies[player]
         return idx + (strategy - current) * self._radices[player]
+
+    def set_strategy_many(
+        self, indices: np.ndarray, player: int, strategies: np.ndarray
+    ) -> np.ndarray:
+        """Per-profile strategy surgery: element ``k`` gets ``strategies[k]``.
+
+        Unlike :meth:`replace_many` (one strategy for the whole batch) this
+        sets a *different* strategy per profile — the inner update of the
+        batched simulation engine.
+        """
+        self._check_player(player)
+        self._require_int64("set_strategy_many")
+        idx = np.asarray(indices, dtype=np.int64)
+        new = np.asarray(strategies, dtype=np.int64)
+        if new.shape != idx.shape:
+            raise ValueError(
+                f"strategies must match indices shape {idx.shape}, got {new.shape}"
+            )
+        m = self.num_strategies[player]
+        if new.size and (new.min() < 0 or new.max() >= m):
+            raise ValueError(f"strategy out of range for player {player} (has {m} strategies)")
+        current = (idx // self._radices[player]) % m
+        return idx + (new - current) * self._radices[player]
 
     def deviations(self, index: int, player: int) -> np.ndarray:
         """Indices of all profiles where only ``player``'s strategy varies.
@@ -186,8 +241,29 @@ class ProfileSpace:
         self._check_player(player)
         m = self.num_strategies[player]
         current = self.strategy_of(index, player)
-        base = index - current * int(self._radices[player])
+        base = int(index) - current * int(self._radices[player])
+        if self._radices.dtype == object:
+            return np.array([base + s * int(self._radices[player]) for s in range(m)], dtype=object)
         return base + np.arange(m, dtype=np.int64) * self._radices[player]
+
+    def deviations_many(self, indices: np.ndarray, player: int) -> np.ndarray:
+        """Batched :meth:`deviations`: ``(k, m_player)`` indices for ``k`` profiles.
+
+        Row ``j`` lists, in strategy order, the profiles reachable from
+        ``indices[j]`` by changing only ``player``'s strategy; the column at
+        ``strategy_of(indices[j], player)`` equals ``indices[j]`` itself.
+        This is the batch surgery the ensemble engine builds its utility
+        lookups from.
+        """
+        self._check_player(player)
+        self._require_int64("deviations_many")
+        idx = np.asarray(indices, dtype=np.int64)
+        radix = self._radices[player]
+        m = self.num_strategies[player]
+        current = (idx // radix) % m
+        base = idx - current * radix
+        strategies = np.arange(m, dtype=np.int64)
+        return base[..., None] + strategies * radix
 
     def deviation_matrix(self, player: int) -> np.ndarray:
         """``(|S|, m_player)`` array: row ``x`` lists :meth:`deviations` of ``x``.
@@ -197,6 +273,7 @@ class ProfileSpace:
         profile where ``player`` switched to strategy ``s``.
         """
         self._check_player(player)
+        self._require_dense("deviation_matrix")
         idx = np.arange(self.size, dtype=np.int64)
         current = (idx // self._radices[player]) % self.num_strategies[player]
         base = idx - current * self._radices[player]
@@ -219,6 +296,7 @@ class ProfileSpace:
         Each edge ``(u, v)`` with ``u < v`` connects two profiles that differ
         in exactly one player's strategy.
         """
+        self._require_dense("hamming_edges")
         edges = []
         idx = np.arange(self.size, dtype=np.int64)
         for player in range(self.num_players):
@@ -258,6 +336,7 @@ class ProfileSpace:
         For two-strategy games this is the Hamming weight ``w(x)`` used
         throughout Section 3.2 and Section 5 of the paper.
         """
+        self._require_int64("weight")
         idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
         count = np.zeros(idx.shape, dtype=np.int64)
         for player in range(self.num_players):
@@ -271,3 +350,19 @@ class ProfileSpace:
     def _check_player(self, player: int) -> None:
         if not 0 <= player < self.num_players:
             raise ValueError(f"player {player} out of range [0, {self.num_players})")
+
+    def _require_int64(self, what: str) -> None:
+        if self._size > _INT64_MAX:
+            raise ValueError(
+                f"profile space has {self._size} profiles, which does not fit in "
+                f"int64; {what} needs vectorised int64 profile indices — use the "
+                f"scalar encode/decode methods for spaces this large"
+            )
+
+    def _require_dense(self, what: str) -> None:
+        if self._size > DENSE_PROFILE_CAP:
+            raise ValueError(
+                f"profile space has {self._size} profiles; {what} materialises "
+                f"O(|S|) arrays and is capped at {DENSE_PROFILE_CAP} profiles — "
+                f"use the matrix-free simulation engine (repro.engine) instead"
+            )
