@@ -1,12 +1,13 @@
-"""E-ENG — batched ensemble engine vs. the single-replica loop.
+"""E-ENG — batched ensemble engine vs. the single-replica loops.
 
 Measures simulation throughput (replica-steps per second) of the
 :class:`repro.engine.EnsembleSimulator` against the pure-Python
-single-replica reference loop on the n-player ring Ising game (the Glauber
-dynamics workload of Section 5), in both engine modes, and asserts the
-batched engine delivers at least the required speedup.  Also re-checks the
-fixed-seed equivalence contract so that the speed being measured is the
-speed of the *same* dynamics.
+single-replica reference loops on the n-player ring Ising game (the Glauber
+dynamics workload of Section 5): the sequential logit kernel in both engine
+modes, and the variant kernels (parallel, round-robin) against their own
+scalar loops.  Asserts the batched engine delivers at least the required
+speedup per kernel.  Also re-checks the fixed-seed equivalence contracts so
+that the speed being measured is the speed of the *same* dynamics.
 
 Tunables (environment variables) let CI smoke-run this with tiny
 parameters: ENGINE_BENCH_N, ENGINE_BENCH_STEPS, ENGINE_BENCH_REPLICAS,
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.analysis import render_experiment
 from repro.core import LogitDynamics
+from repro.core.variants import ParallelLogitDynamics, RoundRobinLogitDynamics
 from repro.games import IsingGame
 
 N = int(os.environ.get("ENGINE_BENCH_N", 12))
@@ -74,6 +76,43 @@ def measure_throughputs() -> tuple[list[list[object]], dict[str, float]]:
     return rows, rates
 
 
+def measure_variant_throughputs() -> tuple[list[list[object]], dict[str, float]]:
+    """Variant kernels vs. their scalar loops on the same ring game."""
+    game = IsingGame(nx.cycle_graph(N), coupling=1.0)
+    start = (0,) * N
+    rng = np.random.default_rng(0)
+    rows: list[list[object]] = []
+    speedups: dict[str, float] = {}
+    for name, dynamics in (
+        ("parallel", ParallelLogitDynamics(game, BETA)),
+        ("round_robin", RoundRobinLogitDynamics(game, BETA)),
+    ):
+        loop_steps = min(STEPS, 500)  # variant loops do n utility calls/step
+        dynamics.simulate_loop(start, min(loop_steps, 100), rng=rng)  # warmup
+        loop_time = _best_of(lambda: dynamics.simulate_loop(start, loop_steps, rng=rng))
+        loop_rate = loop_steps / loop_time
+        sim = dynamics.ensemble(REPLICAS, start=start, rng=rng)
+        sim.run(min(STEPS, 100))  # warmup (gather caches build here)
+        engine_time = _best_of(lambda: sim.run(STEPS))
+        engine_rate = STEPS * REPLICAS / engine_time
+        speedups[name] = engine_rate / loop_rate
+        rows.append(
+            [
+                f"{name} loop (reference)", 1, loop_steps, f"{loop_rate:,.0f}", "1.0x",
+            ]
+        )
+        rows.append(
+            [
+                f"{name} kernel (engine)",
+                REPLICAS,
+                STEPS,
+                f"{engine_rate:,.0f}",
+                f"{speedups[name]:.1f}x",
+            ]
+        )
+    return rows, speedups
+
+
 def test_engine_equivalence_before_timing():
     """The engine must be fast *and* exact: same seed, same trajectory."""
     game = IsingGame(nx.cycle_graph(N), coupling=1.0)
@@ -82,6 +121,42 @@ def test_engine_equivalence_before_timing():
     loop = dynamics.simulate_loop(start, 300, rng=np.random.default_rng(123))
     batched = dynamics.simulate(start, 300, rng=np.random.default_rng(123))
     np.testing.assert_array_equal(loop, batched)
+
+
+def test_variant_kernel_equivalence_before_timing():
+    """Same contract for the variant kernels: same seed, same trajectory."""
+    game = IsingGame(nx.cycle_graph(N), coupling=1.0)
+    start = (0,) * N
+    for dynamics in (
+        ParallelLogitDynamics(game, BETA),
+        RoundRobinLogitDynamics(game, BETA),
+    ):
+        loop = dynamics.simulate_loop(start, 200, rng=np.random.default_rng(7))
+        batched = dynamics.simulate(start, 200, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(loop, batched)
+
+
+def test_variant_kernel_throughput(benchmark):
+    rows, speedups = benchmark.pedantic(
+        measure_variant_throughputs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_experiment(
+            f"E-ENG-V  Variant kernels throughput — n={N} ring Ising, beta={BETA}",
+            ["simulator", "replicas", "steps", "replica-steps/s", "speedup"],
+            rows,
+            notes=(
+                "Each variant kernel is measured against its own scalar reference loop;\n"
+                f"required speedup per kernel: >= {MIN_SPEEDUP:g}x."
+            ),
+        )
+    )
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name} kernel delivers only {speedup:.1f}x over its loop "
+            f"(required {MIN_SPEEDUP:g}x)"
+        )
 
 
 def test_engine_throughput(benchmark):

@@ -35,6 +35,7 @@ from .analysis import (
     SweepRecord,
     SweepResult,
     beta_sweep,
+    dynamics_family_sweep,
     ensemble_beta_sweep,
     exponential_growth_rate,
     render_experiment,
@@ -42,8 +43,12 @@ from .analysis import (
     size_sweep,
 )
 from .core import (
+    AnnealedLogitDynamics,
+    BestResponseDynamics,
     EnsembleMixingEstimate,
     LogitDynamics,
+    ParallelLogitDynamics,
+    RoundRobinLogitDynamics,
     MixingMeasurement,
     StructuralQuantities,
     clique_potential_barrier,
@@ -51,6 +56,7 @@ from .core import (
     empirical_hitting_times,
     estimate_mixing_time_coupling,
     estimate_mixing_time_ensemble,
+    estimate_tv_convergence,
     gibbs_measure,
     lemma32_relaxation_upper,
     lemma33_relaxation_upper,
@@ -95,7 +101,12 @@ from .games import (
     random_game,
 )
 from .engine import (
+    AnnealedKernel,
     EnsembleSimulator,
+    ParallelKernel,
+    RoundRobinKernel,
+    SequentialKernel,
+    UpdateKernel,
     maximal_coupling_update_many,
     simulate_grand_coupling_ensemble,
 )
@@ -125,14 +136,19 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "beta_sweep",
+    "dynamics_family_sweep",
     "ensemble_beta_sweep",
     "exponential_growth_rate",
     "render_experiment",
     "render_table",
     "size_sweep",
     # core
+    "AnnealedLogitDynamics",
+    "BestResponseDynamics",
     "EnsembleMixingEstimate",
     "LogitDynamics",
+    "ParallelLogitDynamics",
+    "RoundRobinLogitDynamics",
     "MixingMeasurement",
     "StructuralQuantities",
     "clique_potential_barrier",
@@ -140,6 +156,7 @@ __all__ = [
     "empirical_hitting_times",
     "estimate_mixing_time_coupling",
     "estimate_mixing_time_ensemble",
+    "estimate_tv_convergence",
     "gibbs_measure",
     "lemma32_relaxation_upper",
     "lemma33_relaxation_upper",
@@ -182,7 +199,12 @@ __all__ = [
     "random_dominant_game",
     "random_game",
     # engine
+    "AnnealedKernel",
     "EnsembleSimulator",
+    "ParallelKernel",
+    "RoundRobinKernel",
+    "SequentialKernel",
+    "UpdateKernel",
     "maximal_coupling_update_many",
     "simulate_grand_coupling_ensemble",
     # graphs

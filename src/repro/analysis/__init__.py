@@ -13,6 +13,7 @@ from .sweep import (
     SweepRecord,
     SweepResult,
     beta_sweep,
+    dynamics_family_sweep,
     ensemble_beta_sweep,
     exponential_growth_rate,
     size_sweep,
@@ -31,6 +32,7 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "beta_sweep",
+    "dynamics_family_sweep",
     "ensemble_beta_sweep",
     "exponential_growth_rate",
     "size_sweep",

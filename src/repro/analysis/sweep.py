@@ -13,12 +13,13 @@ well as sandwich inequalities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.mixing import (
     estimate_mixing_time_ensemble,
+    estimate_tv_convergence,
     measure_mixing_time,
     measure_relaxation_time,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "beta_sweep",
+    "dynamics_family_sweep",
     "ensemble_beta_sweep",
     "size_sweep",
     "exponential_growth_rate",
@@ -143,6 +145,110 @@ def ensemble_beta_sweep(
             )
         )
     return SweepResult(parameter_name="beta", records=tuple(records))
+
+
+def dynamics_family_sweep(
+    game: Game,
+    dynamics_factories: Mapping[str, Callable[[Game], object]]
+    | Sequence[tuple[str, Callable[[Game], object]]],
+    reference: np.ndarray | None = None,
+    num_replicas: int = 1024,
+    epsilon: float = 0.25,
+    max_time: int = 10**4,
+    check_every: int | None = None,
+    start: Sequence[int] | int | None = None,
+    escape_states: Sequence[int] | np.ndarray | None = None,
+    max_escape_steps: int = 10**5,
+    rng: np.random.Generator | None = None,
+) -> SweepResult:
+    """Compare dynamics families on one game via the batched engine.
+
+    The sweep axis is a *dynamics factory*: each entry maps the game to a
+    dynamics object exposing ``ensemble`` — the standard
+    :class:`~repro.core.LogitDynamics` or any Section 6 variant (parallel,
+    best response, annealed schedules, round-robin), at any ``beta`` or
+    ``beta_t`` schedule.  For every family the sweep measures, on one
+    engine-backed replica ensemble each:
+
+    * the time for the ensemble's empirical distribution to come within
+      ``epsilon`` TV of ``reference`` (per family when ``reference`` is
+      ``None``: the family's own ``stationary_distribution()``; pass the
+      Gibbs measure explicitly to diagnose *which* families do **not**
+      converge to Gibbs — e.g. the parallel trap), reported as the record's
+      ``mixing_time``;
+    * when ``escape_states`` is given, the empirical escape time from that
+      well (mean over escaped replicas, plus the escaped fraction), which
+      is the metastability comparison across families.
+
+    Records carry ``parameter = position in the sweep`` and the family name
+    in ``extra["dynamics"]``; non-convergent families come back with
+    ``extra["capped"] = True`` rather than an error (a best-response chain
+    pinned at a Nash equilibrium is a result, not a failure).  Annealed
+    families with a finite schedule are clamped to their horizon by the
+    estimator and the engine's first-passage machinery, so running out of
+    schedule is likewise reported as ``capped``, not raised.
+    """
+    if isinstance(dynamics_factories, Mapping):
+        entries = list(dynamics_factories.items())
+    else:
+        entries = list(dynamics_factories)
+    if not entries:
+        raise ValueError("need at least one dynamics factory to sweep")
+    rng = np.random.default_rng() if rng is None else rng
+    records = []
+    for position, (name, factory) in enumerate(entries):
+        dynamics = factory(game)
+        if reference is None:
+            if not hasattr(dynamics, "stationary_distribution"):
+                raise ValueError(
+                    f"dynamics family {name!r} exposes no stationary_"
+                    f"distribution(); pass an explicit reference distribution"
+                )
+            target = np.asarray(dynamics.stationary_distribution(), dtype=float)
+        else:
+            target = np.asarray(reference, dtype=float)
+        estimate = estimate_tv_convergence(
+            dynamics,
+            target,
+            num_replicas=num_replicas,
+            epsilon=epsilon,
+            start=start,
+            max_time=max_time,
+            check_every=check_every,
+            rng=rng,
+        )
+        extras: dict = {
+            "dynamics": name,
+            "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
+            "capped": estimate.capped,
+            # utilitarian welfare of the settled ensemble: one batched
+            # all-player utility gather over the final replica states
+            "mean_welfare": float(
+                game.utility_profile_many(estimate.final_indices).sum(axis=1).mean()
+            ),
+        }
+        if escape_states is not None:
+            well = np.unique(np.asarray(escape_states, dtype=np.int64))
+            sim = dynamics.ensemble(
+                num_replicas,
+                start_indices=rng.choice(well, size=num_replicas),
+                rng=rng,
+            )
+            times = sim.exit_times(well, max_steps=max_escape_steps)
+            escaped = times[times >= 0]
+            extras["escape_fraction"] = float(escaped.size / times.size)
+            extras["mean_escape_time"] = (
+                float(escaped.mean()) if escaped.size else float("nan")
+            )
+        records.append(
+            SweepRecord(
+                parameter=float(position),
+                mixing_time=float(estimate.mixing_time_estimate),
+                relaxation_time=float("nan"),
+                extra=extras,
+            )
+        )
+    return SweepResult(parameter_name="dynamics_family", records=tuple(records))
 
 
 def size_sweep(

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..engine.coupled import simulate_grand_coupling_ensemble
 from ..engine.ensemble import EnsembleSimulator
+from ..engine.kernels import SequentialKernel, UpdateKernel
 from ..engine.sampling import sample_inverse_cdf
 from ..games.base import Game
 from ..games.potential import PotentialGame
@@ -36,7 +37,12 @@ from ..markov.chain import MarkovChain
 from ..markov.coupling import CouplingResult
 from .stationary import gibbs_measure
 
-__all__ = ["LogitDynamics", "logit_update_distribution"]
+__all__ = [
+    "EngineBackedDynamics",
+    "LogitDynamics",
+    "LogitRule",
+    "logit_update_distribution",
+]
 
 
 def logit_update_distribution(utilities: np.ndarray, beta: float) -> np.ndarray:
@@ -56,7 +62,124 @@ def logit_update_distribution(utilities: np.ndarray, beta: float) -> np.ndarray:
     return weights / np.sum(weights, axis=-1, keepdims=True)
 
 
-class LogitDynamics:
+class LogitRule:
+    """The batched logit move-distribution rule (the engine's rule contract).
+
+    Mixin for any dynamics whose movers pick strategies through the softmax
+    of Equation (2) at a fixed ``beta`` — the standard chain and the
+    parallel / round-robin variants all share exactly these two methods, so
+    a numerics change here propagates to every kernel at once (which is
+    what the cross-validation tests in ``tests/test_variant_kernels.py``
+    rely on).  Subclasses provide ``game`` and ``beta``.
+    """
+
+    game: Game
+    beta: float
+
+    def update_distribution_many(
+        self, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched update rule: row ``j`` is ``sigma_player(. | x_j)``.
+
+        One utility gather and one row-wise softmax for the whole batch —
+        the building block the ensemble engine drives.
+        """
+        utilities = self.game.utility_deviations_many(player, profile_indices)
+        return logit_update_distribution(utilities, self.beta)
+
+    def player_update_matrix(self, player: int) -> np.ndarray:
+        """``(|S|, m_player)`` matrix of update probabilities for every profile.
+
+        Row ``x`` is ``sigma_player(. | x)``; this is both the gather-mode
+        precompute of the engine and the vectorised building block of the
+        full transition matrix.
+        """
+        space = self.game.space
+        devs = space.deviation_matrix(player)  # (|S|, m)
+        utilities = self.game.utility_matrix(player)[devs]
+        return logit_update_distribution(utilities, self.beta)
+
+
+class EngineBackedDynamics:
+    """Shared engine wiring for the logit dynamics and its variants.
+
+    Subclasses provide :meth:`kernel` (their update-rule kernel) and the
+    rule contract it needs (``update_distribution_many``; for gather-capable
+    kernels also ``player_update_matrix``); this mixin supplies the batched
+    Monte-Carlo entry points on top — one implementation shared by
+    :class:`LogitDynamics` and every :mod:`~repro.core.variants` class.
+    """
+
+    game: Game
+
+    def kernel(self) -> UpdateKernel:
+        """The update-rule kernel advancing this dynamics on the engine."""
+        raise NotImplementedError
+
+    def ensemble(
+        self,
+        num_replicas: int,
+        start: Sequence[int] | np.ndarray | int | None = None,
+        rng: np.random.Generator | None = None,
+        mode: str = "auto",
+        start_indices: np.ndarray | None = None,
+    ) -> EnsembleSimulator:
+        """A batched :class:`~repro.engine.EnsembleSimulator` of this dynamics.
+
+        ``num_replicas`` independent copies advanced as one flat index array
+        under this dynamics' kernel — the scaling entry point for mixing,
+        hitting-time and metastability experiments.
+        """
+        return EnsembleSimulator(
+            self,
+            num_replicas,
+            start=start,
+            rng=rng,
+            mode=mode,
+            start_indices=start_indices,
+            kernel=self.kernel(),
+        )
+
+    def simulate(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Simulate one trajectory on the batched engine.
+
+        Returns the recorded profiles as a ``(k, n)`` int array whose first
+        row is the start profile and subsequent rows are snapshots every
+        ``record_every`` steps.  Given the same generator state it
+        reproduces this dynamics' scalar ``simulate_loop`` exactly.
+        """
+        start = np.asarray(start, dtype=np.int64)
+        if start.shape != (self.game.space.num_players,):
+            raise ValueError("start profile has wrong length")
+        sim = self.ensemble(1, start=start, rng=rng, mode="matrix_free")
+        snapshots = sim.run(num_steps, record_every=max(int(record_every), 1))
+        return snapshots[:, 0, :]
+
+    def simulate_hitting_time(
+        self,
+        start: Sequence[int] | np.ndarray,
+        targets: int | Sequence[int] | np.ndarray,
+        rng: np.random.Generator | None = None,
+        max_steps: int = 10**6,
+    ) -> int:
+        """Steps until one trajectory first hits the target set (or -1).
+
+        Runs a single replica matrix-free: gather mode's per-player
+        precompute is never worth it for one lone trajectory.
+        """
+        sim = self.ensemble(
+            1, start=np.asarray(start, dtype=np.int64), rng=rng, mode="matrix_free"
+        )
+        return int(sim.hitting_times(targets, max_steps=max_steps)[0])
+
+
+class LogitDynamics(LogitRule, EngineBackedDynamics):
     """Logit dynamics with inverse noise ``beta`` for a finite game.
 
     Parameters
@@ -90,27 +213,7 @@ class LogitDynamics:
         utilities = self.game.utility_deviations(player, profile_index)
         return logit_update_distribution(utilities, self.beta)
 
-    def update_distribution_many(
-        self, player: int, profile_indices: np.ndarray
-    ) -> np.ndarray:
-        """Batched update rule: row ``j`` is ``sigma_player(. | x_j)``.
-
-        One utility gather and one row-wise softmax for the whole batch —
-        the building block the ensemble engine drives.
-        """
-        utilities = self.game.utility_deviations_many(player, profile_indices)
-        return logit_update_distribution(utilities, self.beta)
-
-    def player_update_matrix(self, player: int) -> np.ndarray:
-        """``(|S|, m_player)`` matrix of update probabilities for every profile.
-
-        Row ``x`` is ``sigma_player(. | x)``; this is the vectorised
-        building block of the full transition matrix.
-        """
-        space = self.game.space
-        devs = space.deviation_matrix(player)  # (|S|, m)
-        utilities = self.game.utility_matrix(player)[devs]
-        return logit_update_distribution(utilities, self.beta)
+    # (update_distribution_many and player_update_matrix come from LogitRule)
 
     # -- transition matrix --------------------------------------------------
 
@@ -196,46 +299,17 @@ class LogitDynamics:
 
     # -- simulation (matrix-free) -------------------------------------------
 
-    def ensemble(
-        self,
-        num_replicas: int,
-        start: Sequence[int] | np.ndarray | int | None = None,
-        rng: np.random.Generator | None = None,
-        mode: str = "auto",
-        start_indices: np.ndarray | None = None,
-    ) -> EnsembleSimulator:
-        """A batched :class:`~repro.engine.EnsembleSimulator` of this chain.
+    def kernel(self) -> SequentialKernel:
+        """The paper's update-rule kernel: one uniformly random mover per step.
 
-        ``num_replicas`` independent copies of the dynamics advanced as one
-        flat index array — the scaling entry point for Monte-Carlo mixing,
-        hitting-time and metastability experiments.
+        This is what :meth:`ensemble` uses implicitly; it is exposed so the
+        standard dynamics plugs into kernel-generic engine tooling the same
+        way the Section 6 variants do.
         """
-        return EnsembleSimulator(
-            self, num_replicas, start=start, rng=rng, mode=mode,
-            start_indices=start_indices,
-        )
+        return SequentialKernel(self)
 
-    def simulate(
-        self,
-        start: Sequence[int] | np.ndarray,
-        num_steps: int,
-        rng: np.random.Generator | None = None,
-        record_every: int = 1,
-    ) -> np.ndarray:
-        """Simulate a trajectory without building the transition matrix.
-
-        Returns the recorded profiles as an ``(k, n)`` int array where the
-        first row is the start profile and subsequent rows are snapshots
-        every ``record_every`` steps.  Runs on the batched engine with a
-        single replica; given the same generator state it reproduces
-        :meth:`simulate_loop` exactly.
-        """
-        start = np.asarray(start, dtype=np.int64)
-        if start.shape != (self.game.space.num_players,):
-            raise ValueError("start profile has wrong length")
-        sim = self.ensemble(1, start=start, rng=rng, mode="matrix_free")
-        snapshots = sim.run(num_steps, record_every=max(int(record_every), 1))
-        return snapshots[:, 0, :]
+    # (ensemble / simulate / simulate_hitting_time come from
+    # EngineBackedDynamics — the same wiring every variant uses)
 
     def simulate_loop(
         self,
@@ -266,21 +340,6 @@ class LogitDynamics:
             if (t + 1) % record_every == 0:
                 snapshots.append(profile.copy())
         return np.asarray(snapshots, dtype=np.int64)
-
-    def simulate_hitting_time(
-        self,
-        start: Sequence[int] | np.ndarray,
-        target_index: int,
-        rng: np.random.Generator | None = None,
-        max_steps: int = 10**6,
-    ) -> int:
-        """Steps until the trajectory first hits ``target_index`` (or -1)."""
-        # matrix_free: gather mode's per-player precompute is never worth it
-        # for one lone trajectory
-        sim = self.ensemble(
-            1, start=np.asarray(start, dtype=np.int64), rng=rng, mode="matrix_free"
-        )
-        return int(sim.hitting_times(int(target_index), max_steps=max_steps)[0])
 
     def grand_coupling(
         self,

@@ -177,6 +177,7 @@ def empirical_escape_times(
     max_steps: int = 10**6,
     start_distribution: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
+    dynamics=None,
 ) -> np.ndarray:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -188,6 +189,11 @@ def empirical_escape_times(
     ``-1`` mean the replica had not escaped within ``max_steps`` — for a
     deep well at large ``beta`` that is the expected outcome and is itself
     evidence of metastability.
+
+    ``dynamics`` overrides the chain being escaped from: any object with an
+    ``ensemble`` method (the Section 6 variants included) works, so escape
+    behaviour can be compared across dynamics families; ``game`` and
+    ``beta`` still pick the conditional-Gibbs start inside the well.
     """
     rng = np.random.default_rng() if rng is None else rng
     idx = _validate_subset(states, game.space.size)
@@ -201,7 +207,8 @@ def empirical_escape_times(
         if total <= 0:
             raise ValueError("start_distribution must have positive mass")
         starts = rng.choice(idx, size=num_replicas, p=weights / total)
-    dynamics = LogitDynamics(game, beta)
+    if dynamics is None:
+        dynamics = LogitDynamics(game, beta)
     sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
     return sim.exit_times(idx, max_steps=max_steps)
 
@@ -214,6 +221,7 @@ def empirical_hitting_times(
     num_replicas: int = 128,
     max_steps: int = 10**6,
     rng: np.random.Generator | None = None,
+    dynamics=None,
 ) -> np.ndarray:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
@@ -221,9 +229,12 @@ def empirical_hitting_times(
     tunnelling time from one consensus well of a coordination game to the
     other) is exactly a hitting time of a set; this runs all replicas
     simultaneously on the batched engine.  ``-1`` entries mean the target
-    set was not reached within ``max_steps``.
+    set was not reached within ``max_steps``.  ``dynamics`` overrides the
+    chain (any object with an ``ensemble`` method, variants included);
+    ``game`` and ``beta`` are then only documentation of the default.
     """
-    dynamics = LogitDynamics(game, beta)
+    if dynamics is None:
+        dynamics = LogitDynamics(game, beta)
     if isinstance(start, (int, np.integer)):
         start_state: np.ndarray | int = int(start)
     else:

@@ -39,6 +39,7 @@ __all__ = [
     "measure_spectral_summary",
     "estimate_mixing_time_coupling",
     "estimate_mixing_time_ensemble",
+    "estimate_tv_convergence",
     "mixing_time_vs_beta",
     "relaxation_time_vs_beta",
 ]
@@ -151,9 +152,79 @@ class EnsembleMixingEstimate:
     #: ``(k, 2)`` array of ``(t, TV(empirical_t, pi))`` at the checkpoints.
     tv_curve: np.ndarray
     capped: bool
+    #: Per-replica profile indices at the final checkpoint (``None`` for
+    #: estimates built before this field existed); lets downstream code
+    #: compute state observables (welfare, magnetisation) without re-running.
+    final_indices: np.ndarray | None = None
 
     def __int__(self) -> int:  # pragma: no cover - convenience
         return self.mixing_time_estimate
+
+
+def estimate_tv_convergence(
+    dynamics,
+    reference: np.ndarray,
+    num_replicas: int = 1024,
+    epsilon: float = 0.25,
+    start: Sequence[int] | int | None = None,
+    max_time: int = 10**5,
+    check_every: int | None = None,
+    rng: np.random.Generator | None = None,
+    mode: str = "auto",
+) -> EnsembleMixingEstimate:
+    """Time for an ensemble of ``dynamics`` to reach ``reference`` in TV.
+
+    Kernel-generic core of :func:`estimate_mixing_time_ensemble`: works for
+    *any* dynamics exposing ``ensemble(num_replicas, ...)`` — the standard
+    logit chain and all Section 6 variants (parallel, best-response,
+    annealed, round-robin) — against any reference distribution over
+    profile indices.  For a non-reversible variant pass its numerical
+    stationary distribution; passing the Gibbs measure instead measures how
+    *far* from Gibbs the variant settles (the parallel-trap diagnostic).
+    Non-ergodic dynamics (best response) may never converge, and annealed
+    dynamics with a finite schedule cannot run past their horizon (the
+    measurement is clamped to the kernel's remaining step budget) — both
+    cases come back ``capped`` rather than raising.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    reference = np.asarray(reference, dtype=float)
+    space = dynamics.game.space
+    if reference.shape != (space.size,):
+        raise ValueError(
+            f"reference must be a distribution over the {space.size} profiles"
+        )
+    if start is None:
+        start = int(np.argmax(reference))
+    elif not isinstance(start, (int, np.integer)):
+        start = np.asarray(start, dtype=np.int64)
+    sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode)
+    budget = sim.kernel.remaining_steps(sim)
+    if budget is not None:
+        max_time = min(int(max_time), budget)
+    if check_every is None:
+        check_every = max(1, space.num_players)
+    check_every = max(int(check_every), 1)
+
+    curve: list[tuple[float, float]] = []
+    t = 0
+    while True:
+        tv = total_variation(sim.empirical_distribution(), reference)
+        curve.append((float(t), float(tv)))
+        if tv <= epsilon or t >= max_time:
+            break
+        steps = min(check_every, max_time - t)
+        sim.run(steps)
+        t += steps
+    return EnsembleMixingEstimate(
+        mixing_time_estimate=int(t),
+        epsilon=epsilon,
+        num_replicas=int(num_replicas),
+        check_every=check_every,
+        tv_curve=np.asarray(curve, dtype=float),
+        capped=bool(curve[-1][1] > epsilon),
+        final_indices=sim.indices,
+    )
 
 
 def estimate_mixing_time_ensemble(
@@ -191,40 +262,22 @@ def estimate_mixing_time_ensemble(
     profile-space size for tight estimates — the estimate is biased
     *upward* (conservative) otherwise.
     """
-    if not 0 < epsilon < 1:
-        raise ValueError("epsilon must lie in (0, 1)")
     dynamics = LogitDynamics(game, beta)
     if not isinstance(game, PotentialGame):
         # without the Gibbs closed form, pi needs the dense eigen-solve —
         # only legitimate in the dense regime, so fail early and clearly
         _exact_guard(game)
     pi = dynamics.stationary_distribution()
-    if start is None:
-        start = int(np.argmax(pi))
-    elif not isinstance(start, (int, np.integer)):
-        start = np.asarray(start, dtype=np.int64)
-    sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode)
-    if check_every is None:
-        check_every = max(1, game.space.num_players)
-    check_every = max(int(check_every), 1)
-
-    curve: list[tuple[float, float]] = []
-    t = 0
-    while True:
-        tv = total_variation(sim.empirical_distribution(), pi)
-        curve.append((float(t), float(tv)))
-        if tv <= epsilon or t >= max_time:
-            break
-        steps = min(check_every, max_time - t)
-        sim.run(steps)
-        t += steps
-    return EnsembleMixingEstimate(
-        mixing_time_estimate=int(t),
+    return estimate_tv_convergence(
+        dynamics,
+        pi,
+        num_replicas=num_replicas,
         epsilon=epsilon,
-        num_replicas=int(num_replicas),
+        start=start,
+        max_time=max_time,
         check_every=check_every,
-        tv_curve=np.asarray(curve, dtype=float),
-        capped=bool(curve[-1][1] > epsilon),
+        rng=rng,
+        mode=mode,
     )
 
 

@@ -23,6 +23,14 @@ the package can be used to explore them empirically:
   instead of being selected uniformly at random; one "round" of n updates is
   a single transition matrix, which makes the variant easy to compare
   against n steps of the standard dynamics.
+
+Every variant runs its Monte-Carlo paths on the batched engine
+(:mod:`repro.engine`) through its own update-rule kernel — ``simulate`` /
+``ensemble`` / ``simulate_hitting_time`` advance replicas as flat numpy
+index arrays, while the scalar ``simulate_loop`` methods remain as the
+pure-Python references the engine is cross-validated against
+(``tests/test_variant_kernels.py``).  The dense ``transition_matrix`` /
+``markov_chain`` machinery stays available for small games.
 """
 
 from __future__ import annotations
@@ -31,11 +39,24 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..engine.kernels import (
+    AnnealedKernel,
+    ParallelKernel,
+    RoundRobinKernel,
+    SequentialKernel,
+)
+from ..engine.sampling import sample_inverse_cdf
 from ..games.base import Game
 from ..markov.chain import MarkovChain
-from .logit import LogitDynamics, logit_update_distribution
+from .logit import (
+    EngineBackedDynamics,
+    LogitDynamics,
+    LogitRule,
+    logit_update_distribution,
+)
 
 __all__ = [
+    "EngineBackedDynamics",
     "ParallelLogitDynamics",
     "BestResponseDynamics",
     "AnnealedLogitDynamics",
@@ -43,7 +64,7 @@ __all__ = [
 ]
 
 
-class ParallelLogitDynamics:
+class ParallelLogitDynamics(LogitRule, EngineBackedDynamics):
     """All players revise simultaneously, each with the logit rule.
 
     One step from profile ``x`` draws, independently for every player ``i``,
@@ -51,7 +72,7 @@ class ParallelLogitDynamics:
     of draws.  Transition probabilities therefore factorise as
     ``P(x, y) = prod_i sigma_i(y_i | x)`` and the transition matrix is dense
     (every profile can reach every other in one step), so the exact machinery
-    is limited to small games; the simulator has no such limit.
+    is limited to small games; the engine-backed simulator has no such limit.
     """
 
     def __init__(self, game: Game, beta: float):
@@ -61,10 +82,20 @@ class ParallelLogitDynamics:
         self.beta = float(beta)
         self._matrix: np.ndarray | None = None
 
+    # -- update rule (the engine's rule contract) --------------------------
+
     def update_distribution(self, profile_index: int, player: int) -> np.ndarray:
         """Per-player logit update distribution (same rule as the sequential chain)."""
         utilities = self.game.utility_deviations(player, profile_index)
         return logit_update_distribution(utilities, self.beta)
+
+    # (batched update_distribution_many / player_update_matrix: LogitRule)
+
+    def kernel(self) -> ParallelKernel:
+        """Simultaneous-update kernel over this logit rule."""
+        return ParallelKernel(self)
+
+    # -- exact machinery (small games) -------------------------------------
 
     def transition_matrix(self) -> np.ndarray:
         """Dense ``(|S|, |S|)`` transition matrix ``P(x, y) = prod_i sigma_i(y_i | x)``."""
@@ -75,9 +106,7 @@ class ParallelLogitDynamics:
             P = np.ones((size, size), dtype=float)
             target = space.all_profiles()  # (|S|, n): strategy of each player in y
             for player in range(space.num_players):
-                devs = space.deviation_matrix(player)
-                utilities = self.game.utility_matrix(player)[devs]
-                probs = logit_update_distribution(utilities, self.beta)  # (|S|, m_i)
+                probs = self.player_update_matrix(player)  # (|S|, m_i)
                 # factor[x, y] = sigma_player(y_player | x)
                 P *= probs[:, target[:, player]]
             self._matrix = P
@@ -87,32 +116,50 @@ class ParallelLogitDynamics:
         """The parallel chain (stationary distribution computed numerically)."""
         return MarkovChain(self.transition_matrix())
 
-    def simulate(
+    def stationary_distribution(self) -> np.ndarray:
+        """Numerical stationary distribution (generally *not* the Gibbs measure)."""
+        return self.markov_chain().stationary.copy()
+
+    # -- simulation ---------------------------------------------------------
+
+    def simulate_loop(
         self,
         start: Sequence[int] | np.ndarray,
         num_steps: int,
         rng: np.random.Generator | None = None,
+        record_every: int = 1,
     ) -> np.ndarray:
-        """Simulate the synchronous dynamics; returns ``(num_steps + 1, n)`` profiles."""
+        """Scalar pure-Python reference implementation of :meth:`simulate`.
+
+        Per step it consumes ``n`` uniforms, one per player in player order
+        — the same random-stream contract as the batched
+        :class:`~repro.engine.kernels.ParallelKernel` with one replica, so
+        the two match bit-for-bit under a fixed seed.
+        """
         rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
         space = self.game.space
         profile = np.asarray(start, dtype=np.int64).copy()
         if profile.shape != (space.num_players,):
             raise ValueError("start profile has wrong length")
-        out = np.empty((num_steps + 1, space.num_players), dtype=np.int64)
-        out[0] = profile
+        snapshots = [profile.copy()]
         for t in range(num_steps):
             idx = space.encode(profile)
+            uniforms = rng.random(space.num_players)
             new = np.empty_like(profile)
             for player in range(space.num_players):
                 probs = self.update_distribution(idx, player)
-                new[player] = rng.choice(probs.size, p=probs)
+                new[player] = sample_inverse_cdf(probs, float(uniforms[player]))
             profile = new
-            out[t + 1] = profile
-        return out
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelLogitDynamics(game={self.game!r}, beta={self.beta})"
 
 
-class BestResponseDynamics:
+class BestResponseDynamics(EngineBackedDynamics):
     """The ``beta -> infinity`` limit: the selected player best-responds.
 
     The selected player moves to a strategy drawn uniformly from her set of
@@ -121,18 +168,50 @@ class BestResponseDynamics:
     equilibria are absorbing states; the chain is generally *not* ergodic,
     which is exactly the contrast with the logit dynamics the paper draws in
     the introduction.
+
+    On the engine this is simply the sequential kernel under the uniform-
+    over-argmax rule instead of the softmax — who moves is unchanged, only
+    the move distribution differs.
     """
 
     def __init__(self, game: Game, tie_tolerance: float = 1e-12):
         self.game = game
         self.tie_tolerance = float(tie_tolerance)
 
+    # -- update rule (the engine's rule contract) --------------------------
+
+    def _best_response_probs(self, utilities: np.ndarray) -> np.ndarray:
+        """Uniform-over-argmax rows for utilities of any (row-major) shape."""
+        utilities = np.asarray(utilities, dtype=float)
+        best = utilities >= np.max(utilities, axis=-1, keepdims=True) - self.tie_tolerance
+        probs = best.astype(float)
+        return probs / probs.sum(axis=-1, keepdims=True)
+
     def update_distribution(self, profile_index: int, player: int) -> np.ndarray:
         """Uniform distribution over the player's best responses."""
-        utilities = self.game.utility_deviations(player, profile_index)
-        best = utilities >= np.max(utilities) - self.tie_tolerance
-        probs = best.astype(float)
-        return probs / probs.sum()
+        return self._best_response_probs(
+            self.game.utility_deviations(player, profile_index)
+        )
+
+    def update_distribution_many(
+        self, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched rule: row ``j`` is uniform over argmax utilities at ``x_j``."""
+        return self._best_response_probs(
+            self.game.utility_deviations_many(player, profile_indices)
+        )
+
+    def player_update_matrix(self, player: int) -> np.ndarray:
+        """``(|S|, m_player)`` best-response probabilities (gather precompute)."""
+        space = self.game.space
+        devs = space.deviation_matrix(player)
+        return self._best_response_probs(self.game.utility_matrix(player)[devs])
+
+    def kernel(self) -> SequentialKernel:
+        """Sequential kernel over the best-response rule."""
+        return SequentialKernel(self)
+
+    # -- exact machinery (small games) -------------------------------------
 
     def transition_matrix(self) -> np.ndarray:
         """Dense transition matrix of the (sequential) best-response chain."""
@@ -143,10 +222,7 @@ class BestResponseDynamics:
         rows = np.arange(size, dtype=np.int64)
         for player in range(n):
             devs = space.deviation_matrix(player)
-            utilities = self.game.utility_matrix(player)[devs]
-            best = utilities >= np.max(utilities, axis=1, keepdims=True) - self.tie_tolerance
-            probs = best.astype(float)
-            probs /= probs.sum(axis=1, keepdims=True)
+            probs = self.player_update_matrix(player)
             np.add.at(P, (rows[:, None], devs), probs / n)
         return P
 
@@ -168,28 +244,118 @@ class BestResponseDynamics:
         logit = LogitDynamics(self.game, beta)
         return bool(np.allclose(logit.transition_matrix(), self.transition_matrix(), atol=atol))
 
+    # -- simulation ---------------------------------------------------------
 
-class AnnealedLogitDynamics:
+    def simulate_loop(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Scalar pure-Python reference implementation of :meth:`simulate`.
+
+        Draw order (all players for the run, then all uniforms) mirrors the
+        sequential kernel's bulk pre-draw, so engine trajectories match this
+        loop bit-for-bit under a fixed seed.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
+        space = self.game.space
+        profile = np.asarray(start, dtype=np.int64).copy()
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        snapshots = [profile.copy()]
+        players = rng.integers(0, space.num_players, size=num_steps)
+        uniforms = rng.random(num_steps)
+        for t in range(num_steps):
+            i = int(players[t])
+            probs = self.update_distribution(space.encode(profile), i)
+            profile[i] = sample_inverse_cdf(probs, float(uniforms[t]))
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BestResponseDynamics(game={self.game!r})"
+
+
+class AnnealedLogitDynamics(EngineBackedDynamics):
     """Logit dynamics with a time-varying inverse noise ``beta_t``.
 
-    ``schedule(t)`` returns the beta used for the update at step ``t``
-    (``t = 0, 1, ...``).  The chain is time-inhomogeneous, so there is no
-    single transition matrix; instead we expose per-step matrices, exact
-    distribution evolution, and trajectory simulation.  A logarithmic
-    schedule ``beta_t = log(1 + t) / c`` is the classical simulated-annealing
-    choice that concentrates the dynamics on potential minimisers.
+    ``schedule`` is either a callable ``schedule(t) -> beta_t`` or a finite
+    sequence of betas (``schedule[t]`` is the beta used for the update at
+    step ``t``).  The chain is time-inhomogeneous, so there is no single
+    transition matrix; instead we expose per-step matrices, exact
+    distribution evolution, and engine-backed trajectory simulation (the
+    step counter is global: all replicas of an ensemble share the same
+    ``beta_t``).  A logarithmic schedule ``beta_t = log(1 + t) / c`` is the
+    classical simulated-annealing choice that concentrates the dynamics on
+    potential minimisers.  ``beta_t = 0`` steps are legal (pure noise);
+    finite schedules shorter than a requested run raise a clear error
+    before any step is taken.
     """
 
-    def __init__(self, game: Game, schedule: Callable[[int], float]):
+    def __init__(
+        self, game: Game, schedule: Callable[[int], float] | Sequence[float]
+    ):
         self.game = game
-        self.schedule = schedule
+        if callable(schedule):
+            self.schedule: Callable[[int], float] | None = schedule
+            self._betas: np.ndarray | None = None
+        else:
+            betas = np.asarray(schedule, dtype=float)
+            if betas.ndim != 1 or betas.size == 0:
+                raise ValueError("a schedule sequence must be a non-empty 1-D array")
+            if np.any(betas < 0) or not np.all(np.isfinite(betas)):
+                raise ValueError("every beta in the schedule must be finite and >= 0")
+            self.schedule = None
+            self._betas = betas
+
+    @property
+    def horizon(self) -> int | None:
+        """Number of steps a finite schedule covers (``None`` if unbounded)."""
+        return None if self._betas is None else int(self._betas.size)
 
     def beta_at(self, step: int) -> float:
         """The inverse noise used for the update at the given step."""
-        beta = float(self.schedule(int(step)))
+        step = int(step)
+        if self._betas is not None:
+            if not 0 <= step < self._betas.size:
+                raise ValueError(
+                    f"annealing schedule covers steps 0..{self._betas.size - 1} "
+                    f"but beta was requested for step {step}; provide a longer "
+                    f"schedule or shorten the run"
+                )
+            return float(self._betas[step])
+        beta = float(self.schedule(step))
         if beta < 0 or not np.isfinite(beta):
             raise ValueError(f"schedule produced an invalid beta {beta} at step {step}")
         return beta
+
+    def validate_horizon(self, start_step: int, end_step: int) -> None:
+        """Fail fast if a finite schedule cannot cover steps ``start..end-1``."""
+        if self._betas is not None and end_step > self._betas.size:
+            raise ValueError(
+                f"annealing schedule provides {self._betas.size} betas but the "
+                f"run needs steps {start_step}..{end_step - 1}; provide a longer "
+                f"schedule or shorten the run"
+            )
+
+    # -- update rule (the engine's rule contract) --------------------------
+
+    def update_distribution_many_at(
+        self, beta: float, player: int, profile_indices: np.ndarray
+    ) -> np.ndarray:
+        """Batched logit rule at a given ``beta`` (the annealed kernel's inner call)."""
+        utilities = self.game.utility_deviations_many(player, profile_indices)
+        return logit_update_distribution(utilities, beta)
+
+    def kernel(self) -> AnnealedKernel:
+        """Time-inhomogeneous sequential kernel following this schedule."""
+        return AnnealedKernel(self)
+
+    # -- exact machinery (small games) -------------------------------------
 
     def transition_matrix_at(self, step: int) -> np.ndarray:
         """The one-step transition matrix in force at the given step."""
@@ -200,33 +366,45 @@ class AnnealedLogitDynamics:
         mu = np.asarray(distribution, dtype=float)
         if mu.shape != (self.game.space.size,):
             raise ValueError("distribution has wrong length")
+        self.validate_horizon(0, int(num_steps))
         for t in range(int(num_steps)):
             mu = mu @ self.transition_matrix_at(t)
         return mu
 
-    def simulate(
+    # -- simulation ---------------------------------------------------------
+
+    def simulate_loop(
         self,
         start: Sequence[int] | np.ndarray,
         num_steps: int,
         rng: np.random.Generator | None = None,
+        record_every: int = 1,
     ) -> np.ndarray:
-        """Simulate the annealed dynamics; returns ``(num_steps + 1, n)`` profiles."""
+        """Scalar pure-Python reference implementation of :meth:`simulate`.
+
+        Draw order (all players for the run, then all uniforms) mirrors the
+        annealed kernel's bulk pre-draw, so engine trajectories match this
+        loop bit-for-bit under a fixed seed.
+        """
         rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
         space = self.game.space
         profile = np.asarray(start, dtype=np.int64).copy()
         if profile.shape != (space.num_players,):
             raise ValueError("start profile has wrong length")
-        out = np.empty((num_steps + 1, space.num_players), dtype=np.int64)
-        out[0] = profile
+        self.validate_horizon(0, int(num_steps))
+        snapshots = [profile.copy()]
+        players = rng.integers(0, space.num_players, size=num_steps)
+        uniforms = rng.random(num_steps)
         for t in range(num_steps):
             beta = self.beta_at(t)
-            player = int(rng.integers(0, space.num_players))
-            idx = space.encode(profile)
-            utilities = self.game.utility_deviations(player, idx)
+            i = int(players[t])
+            utilities = self.game.utility_deviations(i, space.encode(profile))
             probs = logit_update_distribution(utilities, beta)
-            profile[player] = rng.choice(probs.size, p=probs)
-            out[t + 1] = profile
-        return out
+            profile[i] = sample_inverse_cdf(probs, float(uniforms[t]))
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
 
     @staticmethod
     def logarithmic_schedule(scale: float = 1.0, offset: float = 1.0) -> Callable[[int], float]:
@@ -235,8 +413,12 @@ class AnnealedLogitDynamics:
             raise ValueError("scale and offset must be positive")
         return lambda t: float(np.log(offset + t) / scale)
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"horizon={self.horizon}" if self._betas is not None else "callable"
+        return f"AnnealedLogitDynamics(game={self.game!r}, schedule={tag})"
 
-class RoundRobinLogitDynamics:
+
+class RoundRobinLogitDynamics(LogitRule, EngineBackedDynamics):
     """Players update in a fixed cyclic order 0, 1, ..., n-1, 0, ...
 
     One *round* applies each player's logit update once, in order; the
@@ -244,6 +426,11 @@ class RoundRobinLogitDynamics:
     update matrices.  Comparing one round against n steps of the standard
     (uniform-selection) dynamics isolates the effect of the player-selection
     rule, one of the variations the paper's conclusions raise.
+
+    On the engine the cyclic cursor lives in the simulator's kernel state:
+    it advances exactly once per step and is untouched by snapshot
+    recording or by splitting a run into several ``run`` calls, so
+    recording mid-round never desyncs the player order.
     """
 
     def __init__(self, game: Game, beta: float):
@@ -252,13 +439,22 @@ class RoundRobinLogitDynamics:
         self.game = game
         self.beta = float(beta)
 
+    # -- update rule (the engine's rule contract) --------------------------
+
+    # (batched update_distribution_many / player_update_matrix: LogitRule)
+
+    def kernel(self) -> RoundRobinKernel:
+        """Cyclic-order kernel over this logit rule."""
+        return RoundRobinKernel(self)
+
+    # -- exact machinery (small games) -------------------------------------
+
     def player_step_matrix(self, player: int) -> np.ndarray:
         """Transition matrix of a single forced update of ``player``."""
         space = self.game.space
         size = space.size
         devs = space.deviation_matrix(player)
-        utilities = self.game.utility_matrix(player)[devs]
-        probs = logit_update_distribution(utilities, self.beta)
+        probs = self.player_update_matrix(player)
         P = np.zeros((size, size), dtype=float)
         rows = np.arange(size, dtype=np.int64)
         np.add.at(P, (rows[:, None], devs), probs)
@@ -274,3 +470,42 @@ class RoundRobinLogitDynamics:
     def markov_chain(self) -> MarkovChain:
         """The round-level chain (one step = one full round of updates)."""
         return MarkovChain(self.round_transition_matrix())
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Numerical stationary distribution of the round-level chain."""
+        return self.markov_chain().stationary.copy()
+
+    # -- simulation ---------------------------------------------------------
+
+    def simulate_loop(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Scalar pure-Python reference implementation of :meth:`simulate`.
+
+        One *step* is one single-player update (the mover at step ``t`` is
+        player ``t mod n``); per step one uniform is consumed — the same
+        random-stream contract as the batched
+        :class:`~repro.engine.kernels.RoundRobinKernel` with one replica.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
+        space = self.game.space
+        profile = np.asarray(start, dtype=np.int64).copy()
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        snapshots = [profile.copy()]
+        for t in range(num_steps):
+            player = t % space.num_players
+            utilities = self.game.utility_deviations(player, space.encode(profile))
+            probs = logit_update_distribution(utilities, self.beta)
+            profile[player] = sample_inverse_cdf(probs, float(rng.random()))
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoundRobinLogitDynamics(game={self.game!r}, beta={self.beta})"

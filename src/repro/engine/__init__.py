@@ -1,24 +1,56 @@
-"""Batched, matrix-free simulation engine for single-site update dynamics.
+"""Batched, matrix-free simulation engine for update dynamics.
 
 This subsystem is the package's scaling layer: it advances ensembles of
 replicas (and ensembles of coupled pairs) as flat numpy index arrays instead
 of looping over single steps in Python, which is what lets the Monte-Carlo
 estimators reach the regimes the paper's theorems are actually about.
 
+The engine is factored as *kernel x rule* (see :mod:`repro.engine.kernels`
+for the full contract):
+
+* an **update-rule kernel** decides which player(s) move at each step and
+  how the step's randomness is consumed — one uniformly random player
+  (:class:`~repro.engine.kernels.SequentialKernel`, the paper's dynamics),
+  every player simultaneously
+  (:class:`~repro.engine.kernels.ParallelKernel`), a cyclic cursor
+  (:class:`~repro.engine.kernels.RoundRobinKernel`), or a sequential mover
+  under a time-varying ``beta_t`` schedule
+  (:class:`~repro.engine.kernels.AnnealedKernel`);
+* a **rule** supplies the mover's move distribution — the logit softmax
+  (:class:`~repro.core.logit.LogitDynamics` and every variant class) or the
+  uniform-over-argmax best response
+  (:class:`~repro.core.variants.BestResponseDynamics`, which is just the
+  sequential kernel under the beta -> infinity rule).
+
+Components:
+
 * :class:`~repro.engine.ensemble.EnsembleSimulator` — ``R`` independent
-  replicas advanced in bulk, with an optional small-space gather mode;
+  replicas advanced in bulk under any kernel, with an optional small-space
+  gather mode for time-invariant kernels;
 * :func:`~repro.engine.coupled.simulate_grand_coupling_ensemble` — all
   coupled pairs of the paper's grand coupling advanced simultaneously;
 * :mod:`~repro.engine.sampling` — the shared inverse-CDF primitive that
-  keeps the loop reference and the batched paths bit-identical.
+  keeps the loop references and the batched paths bit-identical.
 """
 
 from .coupled import maximal_coupling_update_many, simulate_grand_coupling_ensemble
 from .ensemble import EnsembleSimulator
+from .kernels import (
+    AnnealedKernel,
+    ParallelKernel,
+    RoundRobinKernel,
+    SequentialKernel,
+    UpdateKernel,
+)
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 
 __all__ = [
     "EnsembleSimulator",
+    "UpdateKernel",
+    "SequentialKernel",
+    "ParallelKernel",
+    "RoundRobinKernel",
+    "AnnealedKernel",
     "maximal_coupling_update_many",
     "simulate_grand_coupling_ensemble",
     "sample_from_cumulative",

@@ -1,4 +1,4 @@
-"""Batched, matrix-free simulation of single-site update dynamics.
+"""Batched, matrix-free simulation of update dynamics over replicas.
 
 The Monte-Carlo entry points of the package used to advance one replica of
 the chain one step at a time in pure Python, which caps experiments at toy
@@ -7,12 +7,16 @@ sizes exactly where the paper's claims are about *scaling*.
 replicas of the chain as a single ``(R,)`` array of profile indices and
 advances all of them per step with a handful of numpy operations:
 
-1. draw all selected players and all uniforms for the step in bulk,
-2. group replicas by selected player (one stable argsort),
-3. per player, gather the ``(k, m_i)`` utility rows with one fancy-indexed
-   lookup (:meth:`repro.games.Game.utility_deviations_many`), apply the
-   logit softmax row-wise, and
-4. map the uniforms through the row-wise inverse CDF
+1. the update-rule *kernel* (:mod:`repro.engine.kernels`) draws the step's
+   movers and uniforms in bulk — a uniformly random player per replica for
+   the paper's dynamics, all players for the synchronous variant, the
+   cursor player for round-robin scanning,
+2. replicas are grouped by moving player (one stable argsort),
+3. per player, the ``(k, m_i)`` move-distribution rows are produced with one
+   fancy-indexed utility lookup
+   (:meth:`repro.games.Game.utility_deviations_many`) plus a row-wise
+   softmax / argmax, and
+4. the uniforms are mapped through the row-wise inverse CDF
    (:func:`repro.engine.sampling.sample_from_cumulative`).
 
 Two execution modes are supported:
@@ -23,11 +27,13 @@ Two execution modes are supported:
   ``sigma_i(. | x)`` over all profiles is precomputed once (cumulative sums
   included), after which a step is a pure indexed gather with no utility or
   softmax work at all.  Worth it whenever ``|S|`` fits in memory and many
-  steps are simulated, which is the common benchmarking regime.
+  steps are simulated, which is the common benchmarking regime.  Only legal
+  for kernels whose update rows are time-invariant
+  (:attr:`~repro.engine.kernels.UpdateKernel.supports_gather`).
 
-Replicas are statistically independent: grouping them by selected player
+Replicas are statistically independent: grouping them by moving player
 within a step is exact, not an approximation, because each replica receives
-exactly one single-site update per step.
+exactly the moves its kernel prescribes per step.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..games.space import DENSE_PROFILE_CAP
+from .kernels import SequentialKernel, UpdateKernel
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 
 __all__ = ["EnsembleSimulator"]
@@ -53,6 +60,8 @@ class EnsembleSimulator:
         profile_indices)`` and — for the gather mode —
         ``player_update_matrix(player)`` works;
         :class:`~repro.core.logit.LogitDynamics` is the canonical provider.
+        Without an explicit ``kernel`` it is advanced one uniformly random
+        player per step (:class:`~repro.engine.kernels.SequentialKernel`).
     num_replicas:
         Number of independent replicas ``R``.
     start:
@@ -73,6 +82,10 @@ class EnsembleSimulator:
         profile space has at most ``gather_cap`` profiles).
     gather_cap:
         Small-space threshold used by ``mode="auto"``.
+    kernel:
+        The :class:`~repro.engine.kernels.UpdateKernel` deciding who moves
+        per step.  Defaults to ``SequentialKernel(dynamics)`` — the paper's
+        one-uniformly-random-player-per-step rule.
     """
 
     def __init__(
@@ -84,18 +97,36 @@ class EnsembleSimulator:
         mode: str = "auto",
         gather_cap: int = 1 << 16,
         start_indices: np.ndarray | None = None,
+        kernel: UpdateKernel | None = None,
     ):
         if num_replicas < 1:
             raise ValueError("need at least one replica")
-        self.dynamics = dynamics
-        self.game = dynamics.game
+        self.kernel = SequentialKernel(dynamics) if kernel is None else kernel
+        if self.kernel.game is not dynamics.game:
+            raise ValueError("kernel and dynamics must play the same game")
+        # every move distribution comes from the kernel's rule, so that is
+        # what this simulator truthfully reports as its dynamics (identical
+        # to the `dynamics` argument unless an explicit kernel carrying its
+        # own rule was supplied)
+        self.dynamics = self.kernel.rule
+        self.game = self.kernel.game
         self.space = self.game.space
         self.num_replicas = int(num_replicas)
         self.rng = np.random.default_rng() if rng is None else rng
         if mode == "auto":
-            mode = "gather" if self.space.size <= gather_cap else "matrix_free"
+            mode = (
+                "gather"
+                if self.kernel.supports_gather and self.space.size <= gather_cap
+                else "matrix_free"
+            )
         if mode not in ("gather", "matrix_free"):
             raise ValueError(f"unknown mode {mode!r}")
+        if mode == "gather" and not self.kernel.supports_gather:
+            raise ValueError(
+                f"gather mode precomputes time-invariant update rows but "
+                f"{type(self.kernel).__name__} is time-inhomogeneous; use "
+                f"matrix_free"
+            )
         if mode == "gather" and self.space.size > DENSE_PROFILE_CAP:
             raise ValueError(
                 f"gather mode precomputes (|S|, m) update matrices but the "
@@ -113,7 +144,12 @@ class EnsembleSimulator:
         *,
         start_indices: np.ndarray | None = None,
     ) -> None:
-        """(Re-)initialise every replica from ``start`` (see class docs)."""
+        """(Re-)initialise every replica from ``start`` (see class docs).
+
+        Also resets the kernel's per-simulator state (round-robin cursor,
+        annealed step counter) — a reset restarts the dynamics from time 0.
+        """
+        self.kernel_state = self.kernel.init_state(self)
         R = self.num_replicas
         n = self.space.num_players
         if start_indices is not None:
@@ -174,21 +210,39 @@ class EnsembleSimulator:
         """Cached ``(|S|, m_player)`` cumulative update probabilities."""
         cum = self._cum_cache.get(player)
         if cum is None:
-            probs = self.dynamics.player_update_matrix(player)
+            probs = self.kernel.rule.player_update_matrix(player)
             cum = np.cumsum(probs, axis=1)
             self._cum_cache[player] = cum
         return cum
+
+    def _sample_moves(
+        self, player: int, indices: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """New strategies of ``player`` for the profiles in ``indices``.
+
+        The shared inner move of every kernel: produce the ``(k, m_player)``
+        move-distribution rows (precomputed gather or on-demand rule call)
+        and map the uniforms through the row-wise inverse CDF.
+        """
+        if self.mode == "gather":
+            cum = self._cumulative_update_matrix(player)[indices]
+            return sample_from_cumulative(cum, uniforms)
+        probs = self.kernel.rule.update_distribution_many(player, indices)
+        return sample_inverse_cdf(probs, uniforms)
 
     def _advance_batch(
         self,
         players: np.ndarray,
         uniforms: np.ndarray,
         where: np.ndarray | None = None,
+        distribution: Callable[[int, np.ndarray], np.ndarray] | None = None,
     ) -> None:
         """Apply one single-site update to each selected replica.
 
         ``players`` and ``uniforms`` are ``(k,)`` arrays aligned with
         ``where`` (``(k,)`` replica positions; all replicas when ``None``).
+        ``distribution`` overrides the kernel rule's move distribution for
+        this step (the annealed kernel passes its current-``beta`` rule).
         """
         if players.size == 1:
             # single-replica fast path: no grouping machinery
@@ -201,29 +255,29 @@ class EnsembleSimulator:
             player = int(players[group[0]])
             sel = group if where is None else where[group]
             idx = self._indices[sel]
-            if self.mode == "gather":
-                cum = self._cumulative_update_matrix(player)[idx]
-                chosen = sample_from_cumulative(cum, uniforms[group])
+            if distribution is None:
+                chosen = self._sample_moves(player, idx, uniforms[group])
             else:
-                probs = self.dynamics.update_distribution_many(player, idx)
+                probs = distribution(player, idx)
                 chosen = sample_inverse_cdf(probs, uniforms[group])
             self._indices[sel] = self.space.set_strategy_many(idx, player, chosen)
 
     def step(self) -> None:
         """Advance every replica by one step of the dynamics."""
-        k = self.num_replicas
-        players = self.rng.integers(0, self.space.num_players, size=k)
-        uniforms = self.rng.random(k)
-        self._advance_batch(players, uniforms)
+        self.kernel.step(self)
 
     def run(self, num_steps: int, record_every: int | None = None) -> np.ndarray | None:
         """Advance the ensemble ``num_steps`` steps, optionally recording.
 
-        All players and uniforms for the whole run are drawn up front
-        (players first, then uniforms), so for ``R = 1`` the random stream —
-        and hence the trajectory — is *identical* to the single-replica
-        reference loop :meth:`repro.core.logit.LogitDynamics.simulate_loop`
-        under the same generator state.
+        Randomness is drawn as the kernel prescribes — the sequential
+        kernels pre-draw every player and uniform for the whole run (players
+        first, then uniforms), so for ``R = 1`` the random stream — and
+        hence the trajectory — is *identical* to the single-replica
+        reference loop (:meth:`repro.core.logit.LogitDynamics.simulate_loop`
+        and the variant ``simulate_loop`` methods) under the same generator
+        state.  Recording only copies the state array; it never touches the
+        kernel's bookkeeping (round-robin cursor, annealed step counter), so
+        snapshots cannot desync the dynamics.
 
         Returns ``None`` when ``record_every`` is ``None``; otherwise the
         recorded snapshots as a ``(k, R, n)`` int array whose first entry is
@@ -233,14 +287,13 @@ class EnsembleSimulator:
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
         R = self.num_replicas
-        players = self.rng.integers(0, self.space.num_players, size=(num_steps, R))
-        uniforms = self.rng.random((num_steps, R))
+        draws = self.kernel.begin_run(self, num_steps)
         snapshots: list[np.ndarray] | None = None
         if record_every is not None:
             record_every = max(int(record_every), 1)
             snapshots = [self._indices.copy()]
         for t in range(num_steps):
-            self._advance_batch(players[t], uniforms[t])
+            self.kernel.run_step(self, t, draws)
             if snapshots is not None and (t + 1) % record_every == 0:
                 snapshots.append(self._indices.copy())
         if snapshots is None:
@@ -258,19 +311,22 @@ class EnsembleSimulator:
         """Per-replica first time ``in_target`` holds (``-1`` if never).
 
         Replicas that reach the target stop being advanced; the others keep
-        their own independent randomness.  Mutates the ensemble state.
+        their own independent randomness.  Mutates the ensemble state.  For
+        kernels with a bounded horizon (finite annealing schedules) the
+        search is clamped to the remaining schedule, so exhaustion reads as
+        ``-1`` (not reached) rather than a mid-run error.
         """
         times = np.full(self.num_replicas, -1, dtype=np.int64)
         inside = in_target(self._indices)
         times[inside] = 0
         active = np.flatnonzero(~inside)
-        n = self.space.num_players
+        budget = self.kernel.remaining_steps(self)
+        if budget is not None:
+            max_steps = min(int(max_steps), budget)
         for t in range(1, max_steps + 1):
             if active.size == 0:
                 break
-            players = self.rng.integers(0, n, size=active.size)
-            uniforms = self.rng.random(active.size)
-            self._advance_batch(players, uniforms, where=active)
+            self.kernel.step(self, where=active)
             hit = in_target(self._indices[active])
             times[active[hit]] = t
             active = active[~hit]
@@ -300,5 +356,5 @@ class EnsembleSimulator:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"EnsembleSimulator(replicas={self.num_replicas}, mode={self.mode!r}, "
-            f"game={self.game!r})"
+            f"kernel={type(self.kernel).__name__}, game={self.game!r})"
         )

@@ -1,0 +1,260 @@
+"""Pluggable update-rule kernels for the batched simulation engine.
+
+The paper's standard logit dynamics and all of its Section 6 variants share
+one shape: at every step some player (or set of players) revises her
+strategy by drawing from a per-player move distribution.  A *kernel*
+captures exactly that decomposition so the engine can advance ``R``
+replicas of *any* of the variants with the same vectorised machinery:
+
+* the **kernel** decides *who moves* at each step (a uniformly random
+  player, every player at once, the next player in a cyclic order, ...) and
+  *how the randomness is consumed*;
+* the **rule** decides *how a mover picks her new strategy*: any object
+  exposing ``game`` and ``update_distribution_many(player, profile_indices)
+  -> (k, m_player)`` probability rows (plus ``player_update_matrix(player)``
+  for the engine's gather mode).  :class:`~repro.core.logit.LogitDynamics`
+  and :class:`~repro.core.variants.BestResponseDynamics` are both rules —
+  the best-response chain is just the sequential kernel under a different
+  rule, which is the beta -> infinity limit the paper contrasts against.
+
+Kernel contract
+---------------
+A kernel subclasses :class:`UpdateKernel` and implements:
+
+``step(sim, where=None)``
+    Advance the selected replicas of ``sim`` (an
+    :class:`~repro.engine.ensemble.EnsembleSimulator`) by one step, drawing
+    per-step randomness from ``sim.rng``.  ``where`` is an optional array of
+    replica positions (first-passage runs retire replicas one by one).
+
+``begin_run(sim, num_steps) -> draws | None`` and
+``run_step(sim, t, draws)``
+    Optional bulk-drawing hooks used by :meth:`EnsembleSimulator.run`.  The
+    sequential kernels pre-draw every player selection and uniform for the
+    whole run (players first, then uniforms) so that a single-replica run
+    is bit-for-bit identical to the scalar reference loops; kernels that
+    don't pre-draw inherit the default (``begin_run`` returns ``None`` and
+    ``run_step`` falls through to :meth:`step`).
+
+``init_state(sim) -> dict``
+    Per-simulator mutable state, stored by the simulator and reset together
+    with the replicas.  The round-robin kernel keeps its player cursor here
+    and the annealed kernel its global step counter — on the simulator, not
+    on the kernel, so one kernel object can serve several simulators.
+
+``supports_gather``
+    Whether the per-player update rows are time-invariant, i.e. whether the
+    engine may precompute ``(|S|, m_i)`` cumulative update matrices once
+    and simulate by indexed gathers.  Time-inhomogeneous kernels (annealed
+    schedules) must say ``False``.
+
+Randomness contracts (what the cross-validation tests pin down):
+
+========================  ====================================================
+kernel                    per step consumes
+========================  ====================================================
+:class:`SequentialKernel` one player index, then one uniform, per replica
+:class:`ParallelKernel`   ``n`` uniforms per replica, in player order
+:class:`RoundRobinKernel` one uniform per replica (the mover is the cursor)
+:class:`AnnealedKernel`   one player index, then one uniform, per replica
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "UpdateKernel",
+    "SequentialKernel",
+    "ParallelKernel",
+    "RoundRobinKernel",
+    "AnnealedKernel",
+]
+
+
+class UpdateKernel(abc.ABC):
+    """Decides which player(s) move per step and with what distribution.
+
+    Parameters
+    ----------
+    rule:
+        The move-distribution provider: exposes ``game`` and
+        ``update_distribution_many(player, profile_indices)`` (and, for the
+        gather mode, ``player_update_matrix(player)``).
+    """
+
+    #: whether per-player update rows are time-invariant (gather mode legal)
+    supports_gather: bool = True
+
+    def __init__(self, rule):
+        self.rule = rule
+
+    @property
+    def game(self):
+        """The game the rule plays on."""
+        return self.rule.game
+
+    def init_state(self, sim) -> dict:
+        """Fresh per-simulator kernel state (cursor, step counter, ...)."""
+        return {}
+
+    def begin_run(self, sim, num_steps: int):
+        """Pre-draw randomness for a bulk run; ``None`` means draw per step."""
+        return None
+
+    def run_step(self, sim, t: int, draws) -> None:
+        """Advance all replicas at run step ``t`` (default: per-step draws)."""
+        self.step(sim)
+
+    def remaining_steps(self, sim) -> int | None:
+        """How many more steps this kernel can take (``None`` = unbounded).
+
+        Finite annealing schedules are the bounded case: first-passage runs
+        clamp their ``max_steps`` to this budget so that replicas that have
+        not hit by the end of the schedule report the ``-1`` sentinel
+        instead of raising mid-flight.
+        """
+        return None
+
+    @abc.abstractmethod
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        """Advance the selected replicas one step, drawing from ``sim.rng``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rule={self.rule!r})"
+
+
+class SequentialKernel(UpdateKernel):
+    """One uniformly random player revises per step (the paper's dynamics).
+
+    With a :class:`~repro.core.logit.LogitDynamics` rule this is the
+    standard logit chain (Equation 3); with a
+    :class:`~repro.core.variants.BestResponseDynamics` rule it is the
+    sequential best-response chain.  Bulk runs pre-draw all player
+    selections and then all uniforms, which keeps single-replica engine
+    trajectories bit-for-bit identical to the scalar reference loops.
+    """
+
+    def begin_run(self, sim, num_steps: int):
+        n = sim.space.num_players
+        players = sim.rng.integers(0, n, size=(num_steps, sim.num_replicas))
+        uniforms = sim.rng.random((num_steps, sim.num_replicas))
+        return players, uniforms
+
+    def run_step(self, sim, t: int, draws) -> None:
+        players, uniforms = draws
+        sim._advance_batch(players[t], uniforms[t])
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        k = sim.num_replicas if where is None else where.size
+        players = sim.rng.integers(0, sim.space.num_players, size=k)
+        uniforms = sim.rng.random(k)
+        sim._advance_batch(players, uniforms, where=where)
+
+
+class ParallelKernel(UpdateKernel):
+    """Every player revises simultaneously from the pre-step profile.
+
+    One step consumes ``n`` uniforms per replica (player order); every
+    player's move distribution is evaluated against the *old* profile and
+    all moves land at once, which is what makes the chain non-reversible
+    and produces the coordination-game "parallel trap".
+    """
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        space = sim.space
+        n = space.num_players
+        old = sim._indices if where is None else sim._indices[where]
+        uniforms = sim.rng.random((old.size, n))
+        new = old.copy()
+        for player in range(n):
+            chosen = sim._sample_moves(player, old, uniforms[:, player])
+            new = space.set_strategy_many(new, player, chosen)
+        if where is None:
+            sim._indices = new
+        else:
+            sim._indices[where] = new
+
+
+class RoundRobinKernel(UpdateKernel):
+    """Players revise in the fixed cyclic order 0, 1, ..., n-1, 0, ...
+
+    The cursor lives in the simulator's kernel state and advances exactly
+    once per step — it is *never* touched by snapshot recording or by
+    splitting a run into several :meth:`EnsembleSimulator.run` calls, so
+    recording mid-round cannot desync the player order (the round-
+    bookkeeping regression in ``tests/test_variant_kernels.py`` pins this).
+    """
+
+    def init_state(self, sim) -> dict:
+        return {"cursor": 0}
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        state = sim.kernel_state
+        player = state["cursor"]
+        k = sim.num_replicas if where is None else where.size
+        uniforms = sim.rng.random(k)
+        sim._advance_batch(np.full(k, player, dtype=np.int64), uniforms, where=where)
+        state["cursor"] = (player + 1) % sim.space.num_players
+
+
+class AnnealedKernel(UpdateKernel):
+    """Sequential revision under a time-varying ``beta_t`` schedule.
+
+    ``rule`` must be an :class:`~repro.core.variants.AnnealedLogitDynamics`
+    (exposing ``beta_at(t)`` and ``update_distribution_many_at(beta, player,
+    idx)``).  The global step counter is shared by all replicas — every
+    replica sees the same ``beta_t`` — and lives in the simulator's kernel
+    state, so consecutive :meth:`run` calls continue the schedule where the
+    previous one stopped.  Finite schedules shorter than a requested run
+    raise up front rather than mid-flight; first-passage runs instead clamp
+    to the remaining schedule (via :meth:`remaining_steps`) and report the
+    ``-1`` not-reached sentinel at exhaustion.
+    """
+
+    supports_gather = False
+
+    def init_state(self, sim) -> dict:
+        return {"step": 0}
+
+    def remaining_steps(self, sim) -> int | None:
+        horizon = self.rule.horizon
+        if horizon is None:
+            return None
+        return max(0, int(horizon) - sim.kernel_state["step"])
+
+    def begin_run(self, sim, num_steps: int):
+        start = sim.kernel_state["step"]
+        if num_steps > 0:
+            # fail before any replica moves, not at the step that exhausts a
+            # finite schedule
+            self.rule.validate_horizon(start, start + num_steps)
+        n = sim.space.num_players
+        players = sim.rng.integers(0, n, size=(num_steps, sim.num_replicas))
+        uniforms = sim.rng.random((num_steps, sim.num_replicas))
+        return players, uniforms
+
+    def _distribution_at(self, step: int):
+        beta = self.rule.beta_at(step)
+        return lambda player, idx: self.rule.update_distribution_many_at(
+            beta, player, idx
+        )
+
+    def run_step(self, sim, t: int, draws) -> None:
+        players, uniforms = draws
+        state = sim.kernel_state
+        distribution = self._distribution_at(state["step"])
+        sim._advance_batch(players[t], uniforms[t], distribution=distribution)
+        state["step"] += 1
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        state = sim.kernel_state
+        distribution = self._distribution_at(state["step"])
+        k = sim.num_replicas if where is None else where.size
+        players = sim.rng.integers(0, sim.space.num_players, size=k)
+        uniforms = sim.rng.random(k)
+        sim._advance_batch(players, uniforms, where=where, distribution=distribution)
+        state["step"] += 1

@@ -107,6 +107,22 @@ class Game(abc.ABC):
         idx = self.space.encode(profile)
         return np.array([self.utility(i, idx) for i in range(self.num_players)])
 
+    def utility_profile_many(self, profile_indices: np.ndarray) -> np.ndarray:
+        """Batched all-player utilities: ``(k, n)`` for ``k`` profile indices.
+
+        Row ``j`` is ``(u_1(x_j), ..., u_n(x_j))`` — what ensemble-level
+        welfare measurements need for the current state of every replica.
+        The generic fallback loops over the batch; :class:`TableGame` does
+        it with one fancy-indexed gather.
+        """
+        idx = np.asarray(profile_indices, dtype=np.int64)
+        n = self.num_players
+        if idx.size == 0:
+            return np.empty((0, n), dtype=float)
+        return np.array(
+            [[self.utility(i, int(x)) for i in range(n)] for x in idx], dtype=float
+        )
+
     # -- convenience ------------------------------------------------------
 
     def is_best_response(self, player: int, profile_index: int) -> bool:
@@ -180,6 +196,11 @@ class TableGame(Game):
         # One fancy-indexed gather for the whole batch: (k, m_player).
         devs = self.space.deviations_many(profile_indices, player)
         return self._utilities[player, devs]
+
+    def utility_profile_many(self, profile_indices: np.ndarray) -> np.ndarray:
+        # One transposed gather for the whole batch: (k, n).
+        idx = np.asarray(profile_indices, dtype=np.int64)
+        return self._utilities[:, idx].T.copy()
 
     @property
     def utilities(self) -> np.ndarray:

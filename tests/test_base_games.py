@@ -70,6 +70,27 @@ class TestTableGame:
         utils = game.utility_profile((1, 1))
         np.testing.assert_allclose(utils, [3.0, 3.0])
 
+    def test_utility_profile_many_matches_scalar(self):
+        game = TableGame.from_function((2, 3), lambda i, prof: float(10 * i + prof[i]))
+        idx = np.arange(game.space.size, dtype=np.int64)
+        batched = game.utility_profile_many(idx)
+        assert batched.shape == (game.space.size, 2)
+        for x in idx:
+            np.testing.assert_allclose(
+                batched[x], game.utility_profile(game.space.decode(int(x)))
+            )
+        assert game.utility_profile_many(np.empty(0, dtype=np.int64)).shape == (0, 2)
+
+    def test_utility_profile_many_generic_fallback_agrees(self):
+        table = TableGame.from_function((2, 2), lambda i, prof: float(prof[0] - 2 * prof[1] + i))
+        from repro.games import CallableGame
+
+        callable_game = CallableGame((2, 2), lambda i, prof: float(prof[0] - 2 * prof[1] + i))
+        idx = np.array([0, 3, 1, 2], dtype=np.int64)
+        np.testing.assert_allclose(
+            table.utility_profile_many(idx), callable_game.utility_profile_many(idx)
+        )
+
 
 class TestNormalFormGame:
     def test_payoff_mapping(self):

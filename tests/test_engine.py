@@ -203,6 +203,7 @@ class TestEnsembleSimulator:
         )
         assert np.all(times > 0)
 
+    @pytest.mark.slow
     def test_ensemble_empirical_matches_gibbs(self, two_well_game):
         """Many replicas, moderate horizon: occupation ~ Gibbs measure."""
         from repro.core import gibbs_measure
@@ -233,6 +234,7 @@ class TestBatchedCoupling:
         sx, sy = maximal_coupling_update_many(probs, probs, uniforms)
         np.testing.assert_array_equal(sx, sy)
 
+    @pytest.mark.slow
     def test_batched_marginals_are_correct(self):
         """A fine uniform grid through the batched coupling recovers both marginals."""
         probs_x = np.array([0.7, 0.2, 0.1])
@@ -274,6 +276,39 @@ class TestBatchedCoupling:
 
 
 class TestEnsembleMixingEstimate:
+    def test_tv_convergence_clamps_to_finite_annealing_schedule(self):
+        """Regression: a finite beta_t schedule shorter than max_time must
+        come back as a capped estimate from the estimator itself, not raise
+        mid-measurement."""
+        from repro.core import estimate_tv_convergence, gibbs_measure
+        from repro.core.variants import AnnealedLogitDynamics
+        from repro.games import TwoWellGame
+
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        pi = gibbs_measure(game.potential_vector(), 0.05)
+        estimate = estimate_tv_convergence(
+            AnnealedLogitDynamics(game, np.full(50, 0.05)),
+            pi,
+            num_replicas=64,
+            epsilon=1e-9,  # unreachable: force the run to the horizon
+            max_time=10**4,
+            rng=np.random.default_rng(0),
+        )
+        assert estimate.capped
+        assert estimate.mixing_time_estimate <= 50
+
+    def test_simulator_dynamics_is_the_kernel_rule(self, two_well_game):
+        """An explicit kernel carries its own rule; the simulator must report
+        the rule it actually advances, not the constructor argument."""
+        from repro.engine import SequentialKernel
+
+        slow = LogitDynamics(two_well_game, 0.5)
+        fast = LogitDynamics(two_well_game, 5.0)
+        sim = EnsembleSimulator(slow, 4, kernel=SequentialKernel(fast))
+        assert sim.dynamics is fast
+        assert EnsembleSimulator(slow, 4).dynamics is slow
+
+    @pytest.mark.slow
     def test_brackets_exact_mixing_time(self):
         """Sampled mixing estimate lands around the dense exact t_mix."""
         game = GraphicalCoordinationGame(nx.cycle_graph(4), CoordinationParams.ising(1.0))
@@ -314,6 +349,7 @@ class TestEnsembleMixingEstimate:
 
 
 class TestEnsembleMetastability:
+    @pytest.mark.slow
     def test_empirical_escape_matches_exact_scale(self, two_well_game):
         """Ensemble escape-time samples agree with the linear-system solve."""
         beta = 1.0

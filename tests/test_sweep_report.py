@@ -8,6 +8,7 @@ import pytest
 from repro.analysis.report import format_value, render_experiment, render_table
 from repro.analysis.sweep import (
     beta_sweep,
+    dynamics_family_sweep,
     exponential_growth_rate,
     size_sweep,
 )
@@ -97,3 +98,85 @@ class TestSweeps:
         # mixing time grows with the ring size
         times = result.mixing_times()
         assert times[1] >= times[0]
+
+
+class TestDynamicsFamilySweep:
+    def test_compares_families_and_reports_escape(self):
+        from repro.core import LogitDynamics, gibbs_measure
+        from repro.core.variants import BestResponseDynamics, RoundRobinLogitDynamics
+
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        beta = 0.6
+        result = dynamics_family_sweep(
+            game,
+            {
+                "sequential": lambda g: LogitDynamics(g, beta),
+                "round_robin": lambda g: RoundRobinLogitDynamics(g, beta),
+                "best_response": lambda g: BestResponseDynamics(g),
+            },
+            reference=gibbs_measure(game.potential_vector(), beta),
+            num_replicas=2048,
+            epsilon=0.12,
+            max_time=500,
+            start=0,
+            escape_states=[0],
+            max_escape_steps=5000,
+            rng=np.random.default_rng(0),
+        )
+        assert result.parameter_name == "dynamics_family"
+        assert [r.extra["dynamics"] for r in result.records] == [
+            "sequential", "round_robin", "best_response",
+        ]
+        by_name = {r.extra["dynamics"]: r for r in result.records}
+        # the ergodic logit families reach the Gibbs measure ...
+        assert not by_name["sequential"].extra["capped"]
+        assert not by_name["round_robin"].extra["capped"]
+        # ... the absorbing best-response chain does not (a result, not an error)
+        assert by_name["best_response"].extra["capped"]
+        # everyone escapes the single-profile "well" except best response,
+        # which at a strict equilibrium never moves
+        assert by_name["sequential"].extra["escape_fraction"] == 1.0
+        assert by_name["best_response"].extra["escape_fraction"] == 0.0
+        assert np.isnan(by_name["best_response"].extra["mean_escape_time"])
+        for record in result.records:
+            assert np.isfinite(record.extra["mean_welfare"])
+
+    def test_finite_annealed_schedule_caps_instead_of_raising(self):
+        """Regression: a finite schedule shorter than max_time must come back
+        as a capped record, not crash the sweep mid-run."""
+        from repro.core import gibbs_measure
+        from repro.core.variants import AnnealedLogitDynamics
+
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        pi = gibbs_measure(game.potential_vector(), 0.05)
+        result = dynamics_family_sweep(
+            game,
+            {"annealed": lambda g: AnnealedLogitDynamics(g, np.full(50, 0.05))},
+            reference=pi,
+            num_replicas=64,
+            epsilon=1e-9,  # unreachable: force the run to the horizon
+            max_time=10**4,
+            escape_states=[0],
+            max_escape_steps=10**4,
+            rng=np.random.default_rng(1),
+        )
+        record = result.records[0]
+        assert record.extra["capped"]
+        assert record.mixing_time <= 50  # clamped to the schedule horizon
+
+    def test_requires_reference_for_families_without_stationary(self):
+        from repro.core.variants import AnnealedLogitDynamics
+
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        with pytest.raises(ValueError, match="reference"):
+            dynamics_family_sweep(
+                game,
+                {"annealed": lambda g: AnnealedLogitDynamics(g, lambda t: 0.5)},
+                num_replicas=8,
+                max_time=10,
+            )
+
+    def test_rejects_empty_factory_list(self):
+        game = TwoWellGame(num_players=3, barrier=1.0)
+        with pytest.raises(ValueError, match="at least one"):
+            dynamics_family_sweep(game, {})
