@@ -9,10 +9,18 @@ scalar loops.  Asserts the batched engine delivers at least the required
 speedup per kernel.  Also re-checks the fixed-seed equivalence contracts so
 that the speed being measured is the speed of the *same* dynamics.
 
+A second case family (E-ENG-L) measures the *matrix state* backend on
+local-interaction games far past the int64 profile-index ceiling: ring and
+torus Ising games at n in ENGINE_BENCH_LOCAL_SIZES (default 100 and 1000
+players, i.e. profile spaces of 2**100 and 2**1000) against a scalar
+reference loop that computes each step's deviation utilities from neighbor
+spins.  No profile index exists at these sizes, so this exercises the
+index-free path end to end.
+
 Tunables (environment variables) let CI smoke-run this with tiny
 parameters: ENGINE_BENCH_N, ENGINE_BENCH_STEPS, ENGINE_BENCH_REPLICAS,
-ENGINE_BENCH_MIN_SPEEDUP (set to 0 to disable the speedup assertion on
-underpowered runners).
+ENGINE_BENCH_LOCAL_SIZES, ENGINE_BENCH_MIN_SPEEDUP (set to 0 to disable
+the speedup assertion on underpowered runners).
 """
 
 from __future__ import annotations
@@ -25,14 +33,63 @@ import numpy as np
 
 from repro.analysis import render_experiment
 from repro.core import LogitDynamics
+from repro.core.logit import logit_update_distribution
 from repro.core.variants import ParallelLogitDynamics, RoundRobinLogitDynamics
+from repro.engine.sampling import sample_inverse_cdf
 from repro.games import IsingGame
 
 N = int(os.environ.get("ENGINE_BENCH_N", 12))
 STEPS = int(os.environ.get("ENGINE_BENCH_STEPS", 2000))
 REPLICAS = int(os.environ.get("ENGINE_BENCH_REPLICAS", 1024))
 MIN_SPEEDUP = float(os.environ.get("ENGINE_BENCH_MIN_SPEEDUP", 10.0))
+LOCAL_SIZES = tuple(
+    int(s)
+    for s in os.environ.get("ENGINE_BENCH_LOCAL_SIZES", "100,1000").split(",")
+    if s.strip()
+)
 BETA = 1.0
+
+
+def _local_cases() -> list[tuple[str, IsingGame]]:
+    """Ring and torus Ising games at the configured local sizes."""
+    cases = []
+    for n in LOCAL_SIZES:
+        cases.append((f"ring n={n}", IsingGame(nx.cycle_graph(n), coupling=1.0)))
+        rows = max(int(np.sqrt(n)), 3)
+        cols = max(n // rows, 3)
+        cases.append(
+            (
+                f"torus {rows}x{cols}",
+                IsingGame(nx.grid_2d_graph(rows, cols, periodic=True), coupling=1.0),
+            )
+        )
+    return cases
+
+
+def _scalar_local_loop(
+    game: IsingGame,
+    beta: float,
+    start: np.ndarray,
+    num_steps: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Scalar matrix-free reference: one single-site logit update per step.
+
+    Utilities come from the game's profile-row method on a 1-row batch —
+    the same numbers the engine uses — and the draw order (all players,
+    then all uniforms) matches the sequential kernel's bulk pre-draw, so a
+    single engine replica reproduces this loop bit-for-bit.
+    """
+    n = game.space.num_players
+    profile = np.asarray(start, dtype=np.int64).copy()
+    players = rng.integers(0, n, size=num_steps)
+    uniforms = rng.random(num_steps)
+    for t in range(num_steps):
+        i = int(players[t])
+        utilities = game.utility_deviations_profiles(i, profile[None, :])[0]
+        probs = logit_update_distribution(utilities, beta)
+        profile[i] = sample_inverse_cdf(probs, float(uniforms[t]))
+    return profile
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -113,6 +170,40 @@ def measure_variant_throughputs() -> tuple[list[list[object]], dict[str, float]]
     return rows, speedups
 
 
+def measure_local_throughputs() -> tuple[list[list[object]], dict[str, float]]:
+    """Matrix-state engine vs. the scalar loop on index-free local games."""
+    rows: list[list[object]] = []
+    speedups: dict[str, float] = {}
+    for name, game in _local_cases():
+        dynamics = LogitDynamics(game, BETA)
+        n = game.space.num_players
+        start = np.zeros(n, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        loop_steps = min(STEPS, 500)
+        _scalar_local_loop(game, BETA, start, min(loop_steps, 100), rng)  # warmup
+        loop_time = _best_of(
+            lambda: _scalar_local_loop(game, BETA, start, loop_steps, rng)
+        )
+        loop_rate = loop_steps / loop_time
+        sim = dynamics.ensemble(REPLICAS, start=start, rng=rng)
+        assert sim.state.kind == "matrix", "local cases must run index-free"
+        sim.run(min(STEPS, 100))  # warmup
+        engine_time = _best_of(lambda: sim.run(STEPS))
+        engine_rate = STEPS * REPLICAS / engine_time
+        speedups[name] = engine_rate / loop_rate
+        rows.append([f"{name} loop", 1, loop_steps, f"{loop_rate:,.0f}", "1.0x"])
+        rows.append(
+            [
+                f"{name} engine",
+                REPLICAS,
+                STEPS,
+                f"{engine_rate:,.0f}",
+                f"{speedups[name]:.1f}x",
+            ]
+        )
+    return rows, speedups
+
+
 def test_engine_equivalence_before_timing():
     """The engine must be fast *and* exact: same seed, same trajectory."""
     game = IsingGame(nx.cycle_graph(N), coupling=1.0)
@@ -134,6 +225,45 @@ def test_variant_kernel_equivalence_before_timing():
         loop = dynamics.simulate_loop(start, 200, rng=np.random.default_rng(7))
         batched = dynamics.simulate(start, 200, rng=np.random.default_rng(7))
         np.testing.assert_array_equal(loop, batched)
+
+
+def test_local_game_equivalence_before_timing():
+    """The matrix-state engine must reproduce the scalar local-game loop
+    bit-for-bit — at n=100 no profile index even fits in int64."""
+    n = min(LOCAL_SIZES) if LOCAL_SIZES else 100
+    game = IsingGame(nx.cycle_graph(n), coupling=1.0)
+    dynamics = LogitDynamics(game, BETA)
+    start = np.zeros(n, dtype=np.int64)
+    loop = _scalar_local_loop(game, BETA, start, 300, np.random.default_rng(11))
+    sim = dynamics.ensemble(1, start=start, rng=np.random.default_rng(11))
+    sim.run(300)
+    np.testing.assert_array_equal(loop, sim.profiles[0])
+
+
+def test_local_game_throughput(benchmark):
+    rows, speedups = benchmark.pedantic(
+        measure_local_throughputs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_experiment(
+            f"E-ENG-L  Matrix-state engine on local-interaction games — "
+            f"ring/torus Ising, beta={BETA}",
+            ["simulator", "replicas", "steps", "replica-steps/s", "speedup"],
+            rows,
+            notes=(
+                "Index-free path: replicas are (R, n) strategy rows, deviation\n"
+                "utilities come from neighbor spins only — the profile spaces here\n"
+                "(2**100 .. 2**1000 states) have no int64 profile indices at all.\n"
+                f"Required speedup per case: >= {MIN_SPEEDUP:g}x."
+            ),
+        )
+    )
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"local case {name} delivers only {speedup:.1f}x over the scalar "
+            f"loop (required {MIN_SPEEDUP:g}x)"
+        )
 
 
 def test_variant_kernel_throughput(benchmark):

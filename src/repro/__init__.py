@@ -89,6 +89,7 @@ from .games import (
     Game,
     GraphicalCoordinationGame,
     IsingGame,
+    LocalInteractionGame,
     NormalFormGame,
     PotentialGame,
     ProfileSpace,
@@ -188,6 +189,7 @@ __all__ = [
     "Game",
     "GraphicalCoordinationGame",
     "IsingGame",
+    "LocalInteractionGame",
     "NormalFormGame",
     "PotentialGame",
     "ProfileSpace",

@@ -16,6 +16,7 @@ from .sweep import (
     dynamics_family_sweep,
     ensemble_beta_sweep,
     exponential_growth_rate,
+    hitting_time_size_sweep,
     size_sweep,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "dynamics_family_sweep",
     "ensemble_beta_sweep",
     "exponential_growth_rate",
+    "hitting_time_size_sweep",
     "size_sweep",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "beta_sweep",
     "dynamics_family_sweep",
     "ensemble_beta_sweep",
+    "hitting_time_size_sweep",
     "size_sweep",
     "exponential_growth_rate",
 ]
@@ -273,6 +274,73 @@ def size_sweep(
                 mixing_time=float(mix.mixing_time),
                 relaxation_time=float(relax),
                 extra=extras,
+            )
+        )
+    return SweepResult(parameter_name="n", records=tuple(records))
+
+
+def hitting_time_size_sweep(
+    game_factory: Callable[[int], Game],
+    sizes: Sequence[int],
+    beta: float,
+    start_factory: Callable[[Game], np.ndarray],
+    target_factory: Callable[[Game], Callable[[np.ndarray], np.ndarray]],
+    num_replicas: int = 64,
+    max_steps: int = 10**5,
+    rng: np.random.Generator | None = None,
+    dynamics_factory: Callable[[Game, float], object] | None = None,
+) -> SweepResult:
+    """Monte-Carlo hitting-time scaling over system size, fully index-free.
+
+    The size-scaling companion of :func:`size_sweep` for the regime where
+    neither the dense pipeline nor profile indices exist: each grid point
+    builds ``game_factory(n)`` (typically a
+    :class:`~repro.games.local.LocalInteractionGame` on an ``n``-node
+    graph), starts ``num_replicas`` engine replicas at
+    ``start_factory(game)`` (an ``(n,)`` or ``(R, n)`` profile array) and
+    measures first-hitting times of the *profile predicate* returned by
+    ``target_factory(game)`` — e.g. a magnetization threshold.  Because
+    targets are predicates and the engine auto-selects the matrix state
+    backend past int64, the sweep runs unchanged from ``n = 10`` to
+    ``n = 1000+``.
+
+    Records carry ``parameter = n``; the hitting statistics live in
+    ``extra`` (``mean_hitting_time`` over reached replicas,
+    ``median_hitting_time``, ``reached_fraction``), and the mixing /
+    relaxation columns are NaN (they are not measured here).  Replicas
+    that never reach the target within ``max_steps`` are excluded from the
+    mean — a ``reached_fraction`` well below 1 flags that the estimate is
+    censored.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    records = []
+    for n in sizes:
+        game = game_factory(int(n))
+        if dynamics_factory is None:
+            from ..core.logit import LogitDynamics
+
+            dynamics = LogitDynamics(game, float(beta))
+        else:
+            dynamics = dynamics_factory(game, float(beta))
+        sim = dynamics.ensemble(
+            num_replicas, start=np.asarray(start_factory(game)), rng=rng
+        )
+        times = sim.hitting_times(target_factory(game), max_steps=max_steps)
+        reached = times[times >= 0]
+        records.append(
+            SweepRecord(
+                parameter=float(n),
+                mixing_time=float("nan"),
+                relaxation_time=float("nan"),
+                extra={
+                    "mean_hitting_time": (
+                        float(reached.mean()) if reached.size else float("nan")
+                    ),
+                    "median_hitting_time": (
+                        float(np.median(reached)) if reached.size else float("nan")
+                    ),
+                    "reached_fraction": float(reached.size / times.size),
+                },
             )
         )
     return SweepResult(parameter_name="n", records=tuple(records))

@@ -87,6 +87,35 @@ class LogitRule:
         utilities = self.game.utility_deviations_many(player, profile_indices)
         return logit_update_distribution(utilities, self.beta)
 
+    def update_distribution_profiles(
+        self, player: int, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched update rule from ``(k, n)`` strategy-profile rows.
+
+        The index-free counterpart of :meth:`update_distribution_many`,
+        driven by the engine's matrix state backend: utilities come from
+        :meth:`~repro.games.Game.utility_deviations_profiles`, so games
+        that override it (local-interaction games) never touch a profile
+        index and work at any number of players.
+        """
+        utilities = self.game.utility_deviations_profiles(player, profiles)
+        return logit_update_distribution(utilities, self.beta)
+
+    def update_distribution_rowwise(
+        self, players: np.ndarray, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched rule with a *different mover per row*.
+
+        Row ``j`` is ``sigma_{players[j]}(. | x_j)``.  Requires the game to
+        expose ``utility_deviations_rowwise`` (uniform strategy counts);
+        the engine's matrix state backend uses this to advance replicas
+        with distinct movers in one vectorised call instead of one group
+        per player — the fast path that makes ``R ~ n`` sequential steps
+        cheap on local-interaction games.
+        """
+        utilities = self.game.utility_deviations_rowwise(players, profiles)
+        return logit_update_distribution(utilities, self.beta)
+
     def player_update_matrix(self, player: int) -> np.ndarray:
         """``(|S|, m_player)`` matrix of update probabilities for every profile.
 
@@ -123,12 +152,16 @@ class EngineBackedDynamics:
         rng: np.random.Generator | None = None,
         mode: str = "auto",
         start_indices: np.ndarray | None = None,
+        state: str = "auto",
     ) -> EnsembleSimulator:
         """A batched :class:`~repro.engine.EnsembleSimulator` of this dynamics.
 
-        ``num_replicas`` independent copies advanced as one flat index array
-        under this dynamics' kernel — the scaling entry point for mixing,
-        hitting-time and metastability experiments.
+        ``num_replicas`` independent copies advanced in bulk under this
+        dynamics' kernel — the scaling entry point for mixing, hitting-time
+        and metastability experiments.  ``state`` picks the replica-state
+        backend (``"auto"``: flat int64 profile indices whenever the space
+        fits in int64, ``(R, n)`` strategy rows beyond — the backend that
+        lifts the ~62-binary-player ceiling for local-interaction games).
         """
         return EnsembleSimulator(
             self,
@@ -138,6 +171,7 @@ class EngineBackedDynamics:
             mode=mode,
             start_indices=start_indices,
             kernel=self.kernel(),
+            state=state,
         )
 
     def simulate(
@@ -164,14 +198,18 @@ class EngineBackedDynamics:
     def simulate_hitting_time(
         self,
         start: Sequence[int] | np.ndarray,
-        targets: int | Sequence[int] | np.ndarray,
+        targets,
         rng: np.random.Generator | None = None,
         max_steps: int = 10**6,
     ) -> int:
         """Steps until one trajectory first hits the target set (or -1).
 
-        Runs a single replica matrix-free: gather mode's per-player
-        precompute is never worth it for one lone trajectory.
+        ``targets`` is a profile index, an array of them, or a profile
+        predicate (a callable mapping ``(k, n)`` profile rows to a boolean
+        mask) — the only target form available past the int64
+        profile-index ceiling.  Runs a single replica matrix-free: gather
+        mode's per-player precompute is never worth it for one lone
+        trajectory.
         """
         sim = self.ensemble(
             1, start=np.asarray(start, dtype=np.int64), rng=rng, mode="matrix_free"

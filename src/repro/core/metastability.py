@@ -172,12 +172,13 @@ def _conditional_gibbs_starts(
 def empirical_escape_times(
     game: Game,
     beta: float,
-    states: Sequence[int] | np.ndarray,
+    states,
     num_replicas: int = 128,
     max_steps: int = 10**6,
     start_distribution: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     dynamics=None,
+    start_profiles: np.ndarray | None = None,
 ) -> np.ndarray:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -190,12 +191,50 @@ def empirical_escape_times(
     deep well at large ``beta`` that is the expected outcome and is itself
     evidence of metastability.
 
+    ``states`` describes the well either as profile indices or as a
+    *profile predicate* — a callable mapping ``(k, n)`` strategy-profile
+    rows to a boolean membership mask.  Predicates are the only well form
+    available past the int64 profile-index ceiling (e.g. a magnetization
+    band on a 1000-player local-interaction game); they require explicit
+    ``start_profiles`` (an ``(n,)`` profile or ``(R, n)`` per-replica
+    profiles inside the well), since the conditional-Gibbs start sampler
+    enumerates indices.
+
     ``dynamics`` overrides the chain being escaped from: any object with an
     ``ensemble`` method (the Section 6 variants included) works, so escape
     behaviour can be compared across dynamics families; ``game`` and
     ``beta`` still pick the conditional-Gibbs start inside the well.
     """
     rng = np.random.default_rng() if rng is None else rng
+    if dynamics is None:
+        dynamics = LogitDynamics(game, beta)
+    if callable(states):
+        if start_distribution is not None:
+            raise ValueError(
+                "start_distribution weights an index well and cannot be "
+                "combined with a predicate well; pass start_profiles instead"
+            )
+        if start_profiles is None:
+            raise ValueError(
+                "a predicate well has no index set to sample a start from; "
+                "pass start_profiles (an (n,) profile or (R, n) per-replica "
+                "profiles inside the well)"
+            )
+        sim = dynamics.ensemble(
+            num_replicas, start=np.asarray(start_profiles), rng=rng
+        )
+        inside0 = np.asarray(states(sim.profiles), dtype=bool)
+        if not np.all(inside0):
+            raise ValueError(
+                "start_profiles must lie inside the well: the predicate is "
+                f"False for {int(np.count_nonzero(~inside0))} of "
+                f"{num_replicas} replicas at time 0 (escape times from "
+                f"outside the set would all read 0)"
+            )
+        return sim.exit_times(states, max_steps=max_steps)
+    if start_profiles is not None:
+        raise ValueError("start_profiles is only for predicate wells; use "
+                         "start_distribution with an index well")
     idx = _validate_subset(states, game.space.size)
     if start_distribution is None:
         starts = _conditional_gibbs_starts(game, beta, idx, num_replicas, rng)
@@ -207,8 +246,6 @@ def empirical_escape_times(
         if total <= 0:
             raise ValueError("start_distribution must have positive mass")
         starts = rng.choice(idx, size=num_replicas, p=weights / total)
-    if dynamics is None:
-        dynamics = LogitDynamics(game, beta)
     sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
     return sim.exit_times(idx, max_steps=max_steps)
 
@@ -217,7 +254,7 @@ def empirical_hitting_times(
     game: Game,
     beta: float,
     start: Sequence[int] | int,
-    targets: Sequence[int] | np.ndarray | int,
+    targets,
     num_replicas: int = 128,
     max_steps: int = 10**6,
     rng: np.random.Generator | None = None,
@@ -228,10 +265,16 @@ def empirical_hitting_times(
     The metastability picture of the paper's slow-mixing regimes (e.g. the
     tunnelling time from one consensus well of a coordination game to the
     other) is exactly a hitting time of a set; this runs all replicas
-    simultaneously on the batched engine.  ``-1`` entries mean the target
-    set was not reached within ``max_steps``.  ``dynamics`` overrides the
-    chain (any object with an ``ensemble`` method, variants included);
-    ``game`` and ``beta`` are then only documentation of the default.
+    simultaneously on the batched engine.  ``targets`` is a profile index,
+    an array of them, or a *profile predicate* (a callable mapping
+    ``(k, n)`` strategy-profile rows to a boolean mask) — with a predicate
+    target and a profile-array ``start`` the measurement is fully
+    index-free and runs on local-interaction games of any size (e.g. a
+    magnetization threshold at ``n = 1000``).  ``-1`` entries mean the
+    target set was not reached within ``max_steps``.  ``dynamics``
+    overrides the chain (any object with an ``ensemble`` method, variants
+    included); ``game`` and ``beta`` are then only documentation of the
+    default.
     """
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)

@@ -201,6 +201,22 @@ class BestResponseDynamics(EngineBackedDynamics):
             self.game.utility_deviations_many(player, profile_indices)
         )
 
+    def update_distribution_profiles(
+        self, player: int, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched rule from ``(k, n)`` profile rows (matrix state backend)."""
+        return self._best_response_probs(
+            self.game.utility_deviations_profiles(player, profiles)
+        )
+
+    def update_distribution_rowwise(
+        self, players: np.ndarray, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched rule with a different mover per row (matrix state fast path)."""
+        return self._best_response_probs(
+            self.game.utility_deviations_rowwise(players, profiles)
+        )
+
     def player_update_matrix(self, player: int) -> np.ndarray:
         """``(|S|, m_player)`` best-response probabilities (gather precompute)."""
         space = self.game.space
@@ -349,6 +365,25 @@ class AnnealedLogitDynamics(EngineBackedDynamics):
     ) -> np.ndarray:
         """Batched logit rule at a given ``beta`` (the annealed kernel's inner call)."""
         utilities = self.game.utility_deviations_many(player, profile_indices)
+        return logit_update_distribution(utilities, beta)
+
+    def update_distribution_profiles_at(
+        self, beta: float, player: int, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched logit rule at ``beta`` from ``(k, n)`` profile rows.
+
+        The annealed kernel's inner call on the engine's matrix state
+        backend — index-free, so annealing runs on local-interaction games
+        of any size.
+        """
+        utilities = self.game.utility_deviations_profiles(player, profiles)
+        return logit_update_distribution(utilities, beta)
+
+    def update_distribution_rowwise_at(
+        self, beta: float, players: np.ndarray, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Batched logit rule at ``beta`` with a different mover per row."""
+        utilities = self.game.utility_deviations_rowwise(players, profiles)
         return logit_update_distribution(utilities, beta)
 
     def kernel(self) -> AnnealedKernel:

@@ -27,6 +27,11 @@ Components:
 * :class:`~repro.engine.ensemble.EnsembleSimulator` — ``R`` independent
   replicas advanced in bulk under any kernel, with an optional small-space
   gather mode for time-invariant kernels;
+* :mod:`~repro.engine.state` — pluggable replica-state backends:
+  :class:`~repro.engine.state.IndexState` (flat int64 profile indices, the
+  tabulated-game fast path) and :class:`~repro.engine.state.MatrixState`
+  (``(R, n)`` strategy rows, index-free — lifts the ~62-binary-player
+  int64 ceiling for local-interaction games);
 * :func:`~repro.engine.coupled.simulate_grand_coupling_ensemble` — all
   coupled pairs of the paper's grand coupling advanced simultaneously;
 * :mod:`~repro.engine.sampling` — the shared inverse-CDF primitive that
@@ -43,9 +48,13 @@ from .kernels import (
     UpdateKernel,
 )
 from .sampling import sample_from_cumulative, sample_inverse_cdf
+from .state import EngineState, IndexState, MatrixState
 
 __all__ = [
     "EnsembleSimulator",
+    "EngineState",
+    "IndexState",
+    "MatrixState",
     "UpdateKernel",
     "SequentialKernel",
     "ParallelKernel",

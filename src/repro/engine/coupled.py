@@ -96,6 +96,13 @@ def simulate_grand_coupling_ensemble(
     """
     rng = np.random.default_rng() if rng is None else rng
     space = dynamics.game.space
+    if not space.fits_int64:
+        raise ValueError(
+            f"the profile space has {space.size} profiles (beyond int64); the "
+            f"grand-coupling ensemble tracks pairs as profile indices and "
+            f"cannot run at this size — use the matrix-state "
+            f"EnsembleSimulator for large-space Monte Carlo instead"
+        )
     n = space.num_players
     sx = np.asarray(start_x, dtype=np.int64)
     sy = np.asarray(start_y, dtype=np.int64)

@@ -4,8 +4,9 @@ The Monte-Carlo entry points of the package used to advance one replica of
 the chain one step at a time in pure Python, which caps experiments at toy
 sizes exactly where the paper's claims are about *scaling*.
 :class:`EnsembleSimulator` removes that cap: it holds ``R`` independent
-replicas of the chain as a single ``(R,)`` array of profile indices and
-advances all of them per step with a handful of numpy operations:
+replicas of the chain in a pluggable state backend
+(:mod:`repro.engine.state`) and advances all of them per step with a
+handful of numpy operations:
 
 1. the update-rule *kernel* (:mod:`repro.engine.kernels`) draws the step's
    movers and uniforms in bulk — a uniformly random player per replica for
@@ -13,23 +14,36 @@ advances all of them per step with a handful of numpy operations:
    cursor player for round-robin scanning,
 2. replicas are grouped by moving player (one stable argsort),
 3. per player, the ``(k, m_i)`` move-distribution rows are produced with one
-   fancy-indexed utility lookup
-   (:meth:`repro.games.Game.utility_deviations_many`) plus a row-wise
-   softmax / argmax, and
+   batched rule evaluation (an indexed utility gather for
+   :class:`~repro.engine.state.IndexState`, a profile-row utility
+   computation for :class:`~repro.engine.state.MatrixState`) plus a
+   row-wise softmax / argmax, and
 4. the uniforms are mapped through the row-wise inverse CDF
    (:func:`repro.engine.sampling.sample_from_cumulative`).
 
-Two execution modes are supported:
+Two state backends are supported (``state=`` argument):
+
+* ``"index"`` — each replica is a flat int64 profile index
+  (:class:`~repro.engine.state.IndexState`); the fastest representation
+  for tabulated games, limited to profile spaces that fit in int64;
+* ``"matrix"`` — each replica is a strategy row in an ``(R, n)``
+  int8/int16 matrix (:class:`~repro.engine.state.MatrixState`); no index
+  is ever computed on the stepping path, so graph-structured games with
+  thousands of players (:class:`~repro.games.local.LocalInteractionGame`)
+  simulate without ever touching ``|S|``.
+
+and two execution modes:
 
 * *matrix-free* — utilities are produced on demand per step; memory is
-  ``O(R * m)`` regardless of the profile-space size;
-* *gather* (small-space mode) — each player's full update matrix
-  ``sigma_i(. | x)`` over all profiles is precomputed once (cumulative sums
-  included), after which a step is a pure indexed gather with no utility or
-  softmax work at all.  Worth it whenever ``|S|`` fits in memory and many
-  steps are simulated, which is the common benchmarking regime.  Only legal
-  for kernels whose update rows are time-invariant
-  (:attr:`~repro.engine.kernels.UpdateKernel.supports_gather`).
+  ``O(R * m)`` (plus ``O(R * n)`` state) regardless of the profile-space
+  size;
+* *gather* (small-space mode, index state only) — each player's full
+  update matrix ``sigma_i(. | x)`` over all profiles is precomputed once
+  (cumulative sums included), after which a step is a pure indexed gather
+  with no utility or softmax work at all.  Worth it whenever ``|S|`` fits
+  in memory and many steps are simulated, which is the common
+  benchmarking regime.  Only legal for kernels whose update rows are
+  time-invariant (:attr:`~repro.engine.kernels.UpdateKernel.supports_gather`).
 
 Replicas are statistically independent: grouping them by moving player
 within a step is exact, not an approximation, because each replica receives
@@ -45,8 +59,13 @@ import numpy as np
 from ..games.space import DENSE_PROFILE_CAP
 from .kernels import SequentialKernel, UpdateKernel
 from .sampling import sample_from_cumulative, sample_inverse_cdf
+from .state import EngineState, IndexState, MatrixState
 
 __all__ = ["EnsembleSimulator"]
+
+#: Target predicate for first-passage observables: maps a ``(k, n)``
+#: strategy-profile array to a ``(k,)`` boolean membership mask.
+ProfilePredicate = Callable[[np.ndarray], np.ndarray]
 
 
 class EnsembleSimulator:
@@ -57,21 +76,21 @@ class EnsembleSimulator:
     dynamics:
         The dynamics to simulate.  Any object exposing ``game`` (a
         :class:`~repro.games.Game`), ``update_distribution_many(player,
-        profile_indices)`` and — for the gather mode —
-        ``player_update_matrix(player)`` works;
+        profile_indices)`` and — for the matrix state backend —
+        ``update_distribution_profiles(player, profiles)`` works;
         :class:`~repro.core.logit.LogitDynamics` is the canonical provider.
         Without an explicit ``kernel`` it is advanced one uniformly random
         player per step (:class:`~repro.engine.kernels.SequentialKernel`).
     num_replicas:
         Number of independent replicas ``R``.
     start:
-        Initial state of the ensemble: ``None`` (all replicas at profile
-        index 0), a single profile index, an ``(n,)`` strategy profile
-        broadcast to every replica, or an ``(R, n)`` array of per-replica
-        profiles.  A 1-D array is *always* read as a strategy profile; to
-        start each replica at its own profile index use ``start_indices``
-        (keeping the two channels separate avoids a silent ambiguity when
-        ``R == n``).
+        Initial state of the ensemble: ``None`` (all replicas at the
+        all-zeros profile), a single profile index, an ``(n,)`` strategy
+        profile broadcast to every replica, or an ``(R, n)`` array of
+        per-replica profiles.  A 1-D array is *always* read as a strategy
+        profile; to start each replica at its own profile index use
+        ``start_indices`` (keeping the two channels separate avoids a
+        silent ambiguity when ``R == n``).
     start_indices:
         ``(R,)`` array of per-replica profile indices; mutually exclusive
         with ``start``.
@@ -79,13 +98,19 @@ class EnsembleSimulator:
         Numpy random generator (a fresh default generator if omitted).
     mode:
         ``"matrix_free"``, ``"gather"``, or ``"auto"`` (gather when the
-        profile space has at most ``gather_cap`` profiles).
+        state is index-backed and the profile space has at most
+        ``gather_cap`` profiles).
     gather_cap:
         Small-space threshold used by ``mode="auto"``.
     kernel:
         The :class:`~repro.engine.kernels.UpdateKernel` deciding who moves
         per step.  Defaults to ``SequentialKernel(dynamics)`` — the paper's
         one-uniformly-random-player-per-step rule.
+    state:
+        Replica-state backend: ``"index"``, ``"matrix"``, or ``"auto"``
+        (index whenever the profile space fits in int64, matrix beyond).
+        Small-space trajectories are bit-for-bit identical across the two
+        backends under a fixed seed.
     """
 
     def __init__(
@@ -98,6 +123,7 @@ class EnsembleSimulator:
         gather_cap: int = 1 << 16,
         start_indices: np.ndarray | None = None,
         kernel: UpdateKernel | None = None,
+        state: str = "auto",
     ):
         if num_replicas < 1:
             raise ValueError("need at least one replica")
@@ -113,10 +139,22 @@ class EnsembleSimulator:
         self.space = self.game.space
         self.num_replicas = int(num_replicas)
         self.rng = np.random.default_rng() if rng is None else rng
+        if state == "auto":
+            state = "index" if self.space.fits_int64 else "matrix"
+        if state == "index":
+            self.state: EngineState = IndexState(self.space)
+        elif state == "matrix":
+            self.state = MatrixState(self.space)
+        else:
+            raise ValueError(f"unknown state backend {state!r}")
         if mode == "auto":
             mode = (
                 "gather"
-                if self.kernel.supports_gather and self.space.size <= gather_cap
+                if (
+                    self.state.kind == "index"
+                    and self.kernel.supports_gather
+                    and self.space.size <= gather_cap
+                )
                 else "matrix_free"
             )
         if mode not in ("gather", "matrix_free"):
@@ -127,6 +165,12 @@ class EnsembleSimulator:
                 f"{type(self.kernel).__name__} is time-inhomogeneous; use "
                 f"matrix_free"
             )
+        if mode == "gather" and self.state.kind != "index":
+            raise ValueError(
+                "gather mode indexes precomputed (|S|, m) update matrices by "
+                "profile index and therefore requires the index state "
+                "backend; use matrix_free with state='matrix'"
+            )
         if mode == "gather" and self.space.size > DENSE_PROFILE_CAP:
             raise ValueError(
                 f"gather mode precomputes (|S|, m) update matrices but the "
@@ -134,6 +178,28 @@ class EnsembleSimulator:
             )
         self.mode = mode
         self._cum_cache: dict[int, np.ndarray] = {}
+        # Row-wise fast path: on the matrix backend, games with uniform
+        # strategy counts that expose utility_deviations_rowwise (local-
+        # interaction games) let a step with k distinct movers run as ONE
+        # vectorised rule call instead of ~k per-player groups.  Produces
+        # float-identical move distributions, so trajectories are unchanged.
+        rule = self.kernel.rule
+        self._rowwise_rule = None
+        if (
+            self.mode == "matrix_free"
+            and self.state.kind == "matrix"
+            and getattr(self.game, "utility_deviations_rowwise", None) is not None
+            and hasattr(rule, "update_distribution_rowwise")
+        ):
+            self._rowwise_rule = rule.update_distribution_rowwise
+        self._rowwise_rule_at = None
+        if (
+            self.mode == "matrix_free"
+            and self.state.kind == "matrix"
+            and getattr(self.game, "utility_deviations_rowwise", None) is not None
+            and hasattr(rule, "update_distribution_rowwise_at")
+        ):
+            self._rowwise_rule_at = rule.update_distribution_rowwise_at
         self.reset(start, start_indices=start_indices)
 
     # -- state ------------------------------------------------------------
@@ -150,59 +216,57 @@ class EnsembleSimulator:
         annealed step counter) — a reset restarts the dynamics from time 0.
         """
         self.kernel_state = self.kernel.init_state(self)
-        R = self.num_replicas
-        n = self.space.num_players
-        if start_indices is not None:
-            if start is not None:
-                raise ValueError("pass either start or start_indices, not both")
-            arr = np.asarray(start_indices, dtype=np.int64)
-            if arr.shape != (R,):
-                raise ValueError(
-                    f"start_indices must have shape ({R},), got {arr.shape}"
-                )
-            if arr.size and (arr.min() < 0 or arr.max() >= self.space.size):
-                raise ValueError("start profile index out of range")
-            self._indices = arr.copy()
-            return
-        if start is None:
-            self._indices = np.zeros(R, dtype=np.int64)
-            return
-        if isinstance(start, (int, np.integer)):
-            if not 0 <= int(start) < self.space.size:
-                raise ValueError("start profile index out of range")
-            self._indices = np.full(R, int(start), dtype=np.int64)
-            return
-        arr = np.asarray(start, dtype=np.int64)
-        if arr.ndim == 1 and arr.shape == (n,):
-            self._indices = np.full(R, self.space.encode(arr), dtype=np.int64)
-        elif arr.ndim == 2 and arr.shape == (R, n):
-            self._indices = self.space.encode_many(arr)
-        else:
-            raise ValueError(
-                f"start must be None, a profile index, an ({n},) profile or an "
-                f"({R}, {n}) profile array (per-replica indices go through "
-                f"start_indices); got shape {arr.shape}"
-            )
+        self.state.init(self.num_replicas, start, start_indices)
 
     @property
     def indices(self) -> np.ndarray:
-        """Current profile indices of the replicas (``(R,)`` copy)."""
-        return self._indices.copy()
+        """Current profile indices of the replicas (``(R,)`` copy).
+
+        Only available while the profile space fits in int64 (always for
+        the index backend; for the matrix backend the rows are encoded on
+        demand, and spaces beyond int64 raise with a pointer to the
+        profile-row observables).
+        """
+        return np.array(self.state.indices_at(None), dtype=np.int64)
 
     @property
     def profiles(self) -> np.ndarray:
         """Current strategy profiles of the replicas (``(R, n)``)."""
-        return self.space.decode_many(self._indices)
+        return self.state.profiles_at(None)
 
     def empirical_distribution(self) -> np.ndarray:
         """Occupation frequencies of the ensemble over profile indices."""
         if self.space.size > DENSE_PROFILE_CAP:
             raise ValueError(
                 "empirical_distribution materialises a (|S|,) histogram; the "
-                f"profile space has {self.space.size} profiles"
+                f"profile space has {self.space.size} profiles — use "
+                f"empirical_distribution_sparse (occupied indices + counts) "
+                f"or empirical_profile_counts (occupied profiles + counts)"
             )
-        counts = np.bincount(self._indices, minlength=self.space.size)
+        counts = np.bincount(self.state.indices_at(None), minlength=self.space.size)
         return counts / self.num_replicas
+
+    def empirical_distribution_sparse(self) -> tuple[np.ndarray, np.ndarray]:
+        """Occupied profile indices and their replica counts.
+
+        Returns ``(indices, counts)`` — the sorted unique profile indices
+        currently occupied by at least one replica and the number of
+        replicas at each.  Memory is ``O(R)`` regardless of ``|S|``, which
+        is what occupation statistics on large spaces need; requires only
+        that the space fits in int64 (beyond that, indices do not exist —
+        use :meth:`empirical_profile_counts`).
+        """
+        unique, counts = np.unique(self.state.indices_at(None), return_counts=True)
+        return unique, counts
+
+    def empirical_profile_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Occupied strategy profiles and their replica counts.
+
+        Returns ``(profiles, counts)`` with ``profiles`` of shape
+        ``(u, n)``.  Works for every space size on both state backends —
+        the index-free counterpart of :meth:`empirical_distribution_sparse`.
+        """
+        return np.unique(self.state.profiles_at(None), axis=0, return_counts=True)
 
     # -- stepping ---------------------------------------------------------
 
@@ -216,18 +280,19 @@ class EnsembleSimulator:
         return cum
 
     def _sample_moves(
-        self, player: int, indices: np.ndarray, uniforms: np.ndarray
+        self, player: int, batch: np.ndarray, uniforms: np.ndarray
     ) -> np.ndarray:
-        """New strategies of ``player`` for the profiles in ``indices``.
+        """New strategies of ``player`` for the replicas in ``batch``.
 
         The shared inner move of every kernel: produce the ``(k, m_player)``
-        move-distribution rows (precomputed gather or on-demand rule call)
-        and map the uniforms through the row-wise inverse CDF.
+        move-distribution rows (precomputed gather or on-demand rule call
+        through the state backend) and map the uniforms through the
+        row-wise inverse CDF.
         """
         if self.mode == "gather":
-            cum = self._cumulative_update_matrix(player)[indices]
+            cum = self._cumulative_update_matrix(player)[batch]
             return sample_from_cumulative(cum, uniforms)
-        probs = self.kernel.rule.update_distribution_many(player, indices)
+        probs = self.state.rule_rows(self.kernel.rule, player, batch)
         return sample_inverse_cdf(probs, uniforms)
 
     def _advance_batch(
@@ -235,32 +300,50 @@ class EnsembleSimulator:
         players: np.ndarray,
         uniforms: np.ndarray,
         where: np.ndarray | None = None,
-        distribution: Callable[[int, np.ndarray], np.ndarray] | None = None,
+        at_beta: float | None = None,
     ) -> None:
         """Apply one single-site update to each selected replica.
 
         ``players`` and ``uniforms`` are ``(k,)`` arrays aligned with
         ``where`` (``(k,)`` replica positions; all replicas when ``None``).
-        ``distribution`` overrides the kernel rule's move distribution for
-        this step (the annealed kernel passes its current-``beta`` rule).
+        ``at_beta`` evaluates the rule at an explicit inverse noise instead
+        of its own (the annealed kernel passes its current ``beta_t``).
+
+        On the matrix state backend with a row-wise-capable game the whole
+        batch advances as one vectorised call; otherwise replicas are
+        grouped by moving player (one stable argsort) and each group gets
+        one batched rule evaluation.  Both paths produce float-identical
+        move distributions and consume the same uniforms per replica, so
+        trajectories do not depend on which one ran.
         """
-        if players.size == 1:
-            # single-replica fast path: no grouping machinery
-            groups = [np.zeros(1, dtype=np.int64)]
-        else:
+        state = self.state
+        if players.size > 1:
+            rowwise = self._rowwise_rule if at_beta is None else self._rowwise_rule_at
+            if rowwise is not None:
+                batch = state.rowwise_view(where)
+                if at_beta is None:
+                    probs = rowwise(players, batch)
+                else:
+                    probs = rowwise(at_beta, players, batch)
+                chosen = sample_inverse_cdf(probs, uniforms)
+                state.set_strategies_rowwise(where, players, chosen)
+                return
             order = np.argsort(players, kind="stable")
             boundaries = np.flatnonzero(np.diff(players[order])) + 1
             groups = np.split(order, boundaries)
+        else:
+            # single-replica fast path: no grouping machinery
+            groups = [np.zeros(1, dtype=np.int64)]
         for group in groups:
             player = int(players[group[0]])
             sel = group if where is None else where[group]
-            idx = self._indices[sel]
-            if distribution is None:
-                chosen = self._sample_moves(player, idx, uniforms[group])
+            batch = state.take(sel)
+            if at_beta is None:
+                chosen = self._sample_moves(player, batch, uniforms[group])
             else:
-                probs = distribution(player, idx)
+                probs = state.rule_rows_at(self.kernel.rule, at_beta, player, batch)
                 chosen = sample_inverse_cdf(probs, uniforms[group])
-            self._indices[sel] = self.space.set_strategy_many(idx, player, chosen)
+            state.put(sel, state.set_strategies(batch, player, chosen))
 
     def step(self) -> None:
         """Advance every replica by one step of the dynamics."""
@@ -286,30 +369,28 @@ class EnsembleSimulator:
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
-        R = self.num_replicas
         draws = self.kernel.begin_run(self, num_steps)
         snapshots: list[np.ndarray] | None = None
         if record_every is not None:
             record_every = max(int(record_every), 1)
-            snapshots = [self._indices.copy()]
+            snapshots = [self.state.snapshot()]
         for t in range(num_steps):
             self.kernel.run_step(self, t, draws)
             if snapshots is not None and (t + 1) % record_every == 0:
-                snapshots.append(self._indices.copy())
+                snapshots.append(self.state.snapshot())
         if snapshots is None:
             return None
-        # one vectorised decode for all recorded states: (k, R) -> (k, R, n)
-        recorded = np.asarray(snapshots, dtype=np.int64)
-        decoded = self.space.decode_many(recorded.ravel())
-        return decoded.reshape(recorded.shape[0], R, self.space.num_players)
+        return self.state.stack_snapshots(snapshots)
 
     # -- first-passage observables ----------------------------------------
 
     def _first_times(
-        self, in_target: Callable[[np.ndarray], np.ndarray], max_steps: int
+        self, in_target: Callable[[np.ndarray | None], np.ndarray], max_steps: int
     ) -> np.ndarray:
         """Per-replica first time ``in_target`` holds (``-1`` if never).
 
+        ``in_target(sel)`` returns the membership mask of the selected
+        replica positions (all replicas when ``sel`` is ``None``).
         Replicas that reach the target stop being advanced; the others keep
         their own independent randomness.  Mutates the ensemble state.  For
         kernels with a bounded horizon (finite annealing schedules) the
@@ -317,7 +398,7 @@ class EnsembleSimulator:
         ``-1`` (not reached) rather than a mid-run error.
         """
         times = np.full(self.num_replicas, -1, dtype=np.int64)
-        inside = in_target(self._indices)
+        inside = in_target(None)
         times[inside] = 0
         active = np.flatnonzero(~inside)
         budget = self.kernel.remaining_steps(self)
@@ -327,34 +408,68 @@ class EnsembleSimulator:
             if active.size == 0:
                 break
             self.kernel.step(self, where=active)
-            hit = in_target(self._indices[active])
+            hit = in_target(active)
             times[active[hit]] = t
             active = active[~hit]
         return times
 
-    def hitting_times(
-        self, targets: int | Sequence[int] | np.ndarray, max_steps: int = 10**6
-    ) -> np.ndarray:
-        """First time each replica hits a target profile (``-1`` if never).
+    def _membership(
+        self, targets: int | Sequence[int] | np.ndarray | ProfilePredicate
+    ) -> Callable[[np.ndarray | None], np.ndarray]:
+        """Membership evaluator for index targets or a profile predicate.
 
-        ``targets`` is one profile index or an array of them; hitting any of
-        them counts.  Replicas already at a target report 0.
+        A callable target is a *profile predicate*: it receives the
+        ``(k, n)`` strategy profiles of the queried replicas and returns a
+        ``(k,)`` boolean mask.  Predicates are the only target form that
+        works past the int64 profile-index ceiling (e.g. a magnetization
+        threshold on a 1000-player local-interaction game).
         """
+        if callable(targets):
+            predicate = targets
+            return lambda sel: np.atleast_1d(
+                np.asarray(predicate(self.state.profiles_at(sel)), dtype=bool)
+            )
         target_arr = np.atleast_1d(np.asarray(targets, dtype=np.int64))
         if target_arr.size == 1:
             target = int(target_arr[0])
-            return self._first_times(lambda idx: idx == target, max_steps)
-        return self._first_times(lambda idx: np.isin(idx, target_arr), max_steps)
+            return lambda sel: self.state.indices_at(sel) == target
+        return lambda sel: np.isin(self.state.indices_at(sel), target_arr)
+
+    def hitting_times(
+        self,
+        targets: int | Sequence[int] | np.ndarray | ProfilePredicate,
+        max_steps: int = 10**6,
+    ) -> np.ndarray:
+        """First time each replica hits a target set (``-1`` if never).
+
+        ``targets`` is one profile index, an array of them (hitting any
+        counts), or a *profile predicate* — a callable mapping the
+        ``(k, n)`` strategy profiles of the queried replicas to a ``(k,)``
+        boolean mask.  Predicates never touch profile indices, so they are
+        the target form to use on spaces beyond int64.  Replicas already at
+        a target report 0.
+        """
+        return self._first_times(self._membership(targets), max_steps)
 
     def exit_times(
-        self, states: Sequence[int] | np.ndarray, max_steps: int = 10**6
+        self,
+        states: Sequence[int] | np.ndarray | ProfilePredicate,
+        max_steps: int = 10**6,
     ) -> np.ndarray:
-        """First time each replica leaves the profile set (``-1`` if never)."""
-        inside = np.unique(np.asarray(states, dtype=np.int64))
-        return self._first_times(lambda idx: ~np.isin(idx, inside), max_steps)
+        """First time each replica leaves the profile set (``-1`` if never).
+
+        ``states`` is an array of profile indices or a profile predicate
+        describing membership of the set being escaped from.
+        """
+        if callable(states):
+            inside = self._membership(states)
+        else:
+            inside = self._membership(np.unique(np.asarray(states, dtype=np.int64)))
+        return self._first_times(lambda sel: ~inside(sel), max_steps)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"EnsembleSimulator(replicas={self.num_replicas}, mode={self.mode!r}, "
-            f"kernel={type(self.kernel).__name__}, game={self.game!r})"
+            f"state={self.state.kind!r}, kernel={type(self.kernel).__name__}, "
+            f"game={self.game!r})"
         )

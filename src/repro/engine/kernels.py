@@ -12,7 +12,9 @@ replicas of *any* of the variants with the same vectorised machinery:
 * the **rule** decides *how a mover picks her new strategy*: any object
   exposing ``game`` and ``update_distribution_many(player, profile_indices)
   -> (k, m_player)`` probability rows (plus ``player_update_matrix(player)``
-  for the engine's gather mode).  :class:`~repro.core.logit.LogitDynamics`
+  for the engine's gather mode, and ``update_distribution_profiles(player,
+  profiles)`` for the matrix state backend, which hands the rule ``(k, n)``
+  strategy rows instead of indices).  :class:`~repro.core.logit.LogitDynamics`
   and :class:`~repro.core.variants.BestResponseDynamics` are both rules —
   the best-response chain is just the sequential kernel under a different
   rule, which is the beta -> infinity limit the paper contrasts against.
@@ -165,18 +167,15 @@ class ParallelKernel(UpdateKernel):
     """
 
     def step(self, sim, where: np.ndarray | None = None) -> None:
-        space = sim.space
-        n = space.num_players
-        old = sim._indices if where is None else sim._indices[where]
-        uniforms = sim.rng.random((old.size, n))
+        state = sim.state
+        n = sim.space.num_players
+        old = state.take(where)
+        uniforms = sim.rng.random((old.shape[0], n))
         new = old.copy()
         for player in range(n):
             chosen = sim._sample_moves(player, old, uniforms[:, player])
-            new = space.set_strategy_many(new, player, chosen)
-        if where is None:
-            sim._indices = new
-        else:
-            sim._indices[where] = new
+            new = state.set_strategies(new, player, chosen)
+        state.put(where, new)
 
 
 class RoundRobinKernel(UpdateKernel):
@@ -237,24 +236,21 @@ class AnnealedKernel(UpdateKernel):
         uniforms = sim.rng.random((num_steps, sim.num_replicas))
         return players, uniforms
 
-    def _distribution_at(self, step: int):
-        beta = self.rule.beta_at(step)
-        return lambda player, idx: self.rule.update_distribution_many_at(
-            beta, player, idx
-        )
-
     def run_step(self, sim, t: int, draws) -> None:
         players, uniforms = draws
         state = sim.kernel_state
-        distribution = self._distribution_at(state["step"])
-        sim._advance_batch(players[t], uniforms[t], distribution=distribution)
+        # the engine routes the explicit beta through the state backend
+        # (update_distribution_many_at on index batches, the _profiles_at /
+        # _rowwise_at counterparts on strategy-row batches)
+        beta = self.rule.beta_at(state["step"])
+        sim._advance_batch(players[t], uniforms[t], at_beta=beta)
         state["step"] += 1
 
     def step(self, sim, where: np.ndarray | None = None) -> None:
         state = sim.kernel_state
-        distribution = self._distribution_at(state["step"])
+        beta = self.rule.beta_at(state["step"])
         k = sim.num_replicas if where is None else where.size
         players = sim.rng.integers(0, sim.space.num_players, size=k)
         uniforms = sim.rng.random(k)
-        sim._advance_batch(players, uniforms, where=where, distribution=distribution)
+        sim._advance_batch(players, uniforms, where=where, at_beta=beta)
         state["step"] += 1

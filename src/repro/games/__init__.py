@@ -41,6 +41,7 @@ from .maxsolvable import (
     max_solve,
     never_best_response_strategies,
 )
+from .local import LocalInteractionGame, derive_edge_potential
 from .ising import (
     IsingGame,
     glauber_update_probability,
@@ -91,6 +92,8 @@ __all__ = [
     "dominant_strategies",
     "has_dominant_profile",
     "random_dominant_game",
+    "LocalInteractionGame",
+    "derive_edge_potential",
     "IsingGame",
     "glauber_update_probability",
     "ising_hamiltonian",

@@ -96,6 +96,39 @@ class Game(abc.ABC):
             [self.utility_deviations(player, int(x)) for x in idx], axis=0
         )
 
+    def utility_deviations_profiles(
+        self, player: int, profiles: np.ndarray
+    ) -> np.ndarray:
+        """Deviation utilities from ``(k, n)`` strategy-profile rows.
+
+        Row ``j`` is ``(u_player(s, x_-i))_s`` for the profile given by the
+        strategy row ``profiles[j]`` — the index-free counterpart of
+        :meth:`utility_deviations_many` and the hot call of the engine's
+        matrix state backend.  The generic fallback encodes the rows to
+        profile indices, which requires the space to fit in int64; games
+        meant to run past that ceiling override this with a direct
+        computation (:class:`repro.games.local.LocalInteractionGame`
+        computes it from neighbor strategies only, in ``O(deg)`` per row).
+        """
+        arr = np.asarray(profiles)
+        if arr.ndim != 2 or arr.shape[1] != self.space.num_players:
+            raise ValueError(
+                f"profiles must have shape (k, {self.space.num_players}), "
+                f"got {arr.shape}"
+            )
+        if not self.space.fits_int64:
+            raise ValueError(
+                f"the generic utility_deviations_profiles fallback encodes "
+                f"profile rows to indices, but the profile space has "
+                f"{self.space.size} profiles (beyond int64); "
+                f"{type(self).__name__} must override "
+                f"utility_deviations_profiles with an index-free computation "
+                f"to simulate at this size (see "
+                f"repro.games.local.LocalInteractionGame)"
+            )
+        idx = self.space.encode_many(arr.astype(np.int64, copy=False))
+        return self.utility_deviations_many(player, idx)
+
     def utility_matrix(self, player: int) -> np.ndarray:
         """Full utility vector of ``player`` indexed by profile index."""
         return np.array(

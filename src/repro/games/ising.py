@@ -5,10 +5,15 @@ coordination game *without* risk-dominant equilibria (``delta0 = delta1``),
 and that the Glauber dynamics on the Ising model coincides with the logit
 dynamics of that game.  This module makes the correspondence executable:
 
-* :class:`IsingGame` — the graphical coordination game with
-  ``delta0 = delta1 = 2 * J`` on an arbitrary interaction graph, plus an
+* :class:`IsingGame` — the local-interaction game with per-edge payoff
+  ``J * sigma_u * sigma_v`` on an arbitrary interaction graph, plus an
   optional external field ``h`` (a per-player bonus for playing spin ``+1``)
-  that maps to an extra linear term in the potential;
+  that maps to an extra linear term in the potential.  Built on
+  :class:`~repro.games.local.LocalInteractionGame`, so utilities and the
+  potential are computed from neighbor strategies only — the game (and the
+  engine's matrix state backend with it) scales to thousands of spins,
+  while the dense accessors (``potential_vector``, ``utility_matrix``)
+  stay available below the dense cap;
 * :func:`ising_hamiltonian` — the usual physics Hamiltonian
   ``H(sigma) = -J sum_{(u,v)} sigma_u sigma_v - h sum_u sigma_u`` over spins
   ``sigma in {-1, +1}^n``;
@@ -17,11 +22,12 @@ dynamics of that game.  This module makes the correspondence executable:
 * :func:`glauber_update_probability` — the heat-bath update rule, equal to
   the logit update probability of the corresponding game.
 
-The correspondence (up to an additive constant in the potential, which the
-Gibbs measure ignores) is ``Phi(x) = H(sigma(x)) / 1`` with
-``delta = 2 * J``: flipping a spin changes ``H`` by ``2 J (#disagreeing -
-#agreeing neighbors)`` and changes the game potential by exactly the same
-amount.
+The game potential *is* the Hamiltonian (the per-edge potentials are
+passed explicitly rather than derived, pinning the physics normalisation),
+so ``pi(x) ∝ exp(-beta H(sigma(x)))`` is the textbook Gibbs distribution
+and the logit dynamics is single-site heat-bath (Glauber) dynamics:
+flipping a spin changes ``H`` by ``2 J (#disagreeing - #agreeing
+neighbors)`` and changes the game potential by exactly the same amount.
 """
 
 from __future__ import annotations
@@ -30,8 +36,7 @@ import networkx as nx
 import numpy as np
 
 from .coordination import CoordinationParams, GraphicalCoordinationGame
-from .potential import ExplicitPotentialGame
-from .space import ProfileSpace
+from .local import LocalInteractionGame
 
 __all__ = [
     "IsingGame",
@@ -78,8 +83,8 @@ def glauber_update_probability(
     return float(1.0 / (1.0 + np.exp(-2.0 * beta * local_field)))
 
 
-class IsingGame(ExplicitPotentialGame):
-    """Graphical coordination game equivalent to the Ising model.
+class IsingGame(LocalInteractionGame):
+    """Local-interaction game equivalent to the Ising model.
 
     Parameters
     ----------
@@ -95,37 +100,28 @@ class IsingGame(ExplicitPotentialGame):
 
     Notes
     -----
-    The potential used is exactly the Hamiltonian evaluated on the ±1 spins
-    of each profile, so ``pi(x) ∝ exp(-beta H(sigma(x)))`` is the textbook
-    Gibbs distribution of the Ising model and the logit dynamics is the
-    single-site heat-bath (Glauber) dynamics.
+    Player ``u``'s utility is ``J * sum_{v~u} sigma_u sigma_v + h *
+    sigma_u`` and the potential is exactly the Hamiltonian evaluated on the
+    ±1 spins, so a unilateral flip changes utility by minus the potential
+    change (Equation 1).  Everything is computed from neighbor spins only,
+    so the game works far past the int64 profile-index ceiling.
     """
 
     def __init__(self, graph: nx.Graph, coupling: float = 1.0, field: float = 0.0):
         if coupling <= 0:
             raise ValueError("coupling J must be positive (ferromagnetic)")
-        nodes = sorted(graph.nodes())
-        relabel = {node: i for i, node in enumerate(nodes)}
-        self.graph = nx.relabel_nodes(graph, relabel, copy=True)
+        spins = np.array([-1.0, 1.0])
+        edge_payoff = coupling * np.outer(spins, spins)  # u earns J*s_u*s_v
+        # explicit edge potential -J*s_u*s_v: pins the Hamiltonian
+        # normalisation (auto-derivation would shift each edge by -J)
+        super().__init__(
+            graph,
+            edge_payoff,
+            edge_potentials=-edge_payoff,
+            external_field=field * spins,
+        )
         self.coupling = float(coupling)
         self.field = float(field)
-        n = self.graph.number_of_nodes()
-        space = ProfileSpace((2,) * n)
-        profiles = space.all_profiles()
-        spins = spins_from_profile(profiles).astype(float)  # (|S|, n)
-        phi = np.zeros(space.size, dtype=float)
-        for u, v in self.graph.edges():
-            phi -= self.coupling * spins[:, u] * spins[:, v]
-        phi -= self.field * spins.sum(axis=1)
-        # Utilities: player u's utility is J * sum_{v~u} s_u s_v + h * s_u so
-        # that a unilateral flip changes utility by minus the potential change.
-        utilities = np.zeros((n, space.size), dtype=float)
-        for u in range(n):
-            neighbor_sum = np.zeros(space.size, dtype=float)
-            for v in self.graph.neighbors(u):
-                neighbor_sum += spins[:, v]
-            utilities[u] = self.coupling * spins[:, u] * neighbor_sum + self.field * spins[:, u]
-        super().__init__((2,) * n, utilities, phi)
 
     @classmethod
     def as_coordination_game(
@@ -147,6 +143,21 @@ class IsingGame(ExplicitPotentialGame):
         prof = np.asarray(self.space.decode(profile_index))
         return float(np.mean(spins_from_profile(prof)))
 
+    def magnetization_of_profiles(self, profiles: np.ndarray) -> np.ndarray:
+        """``(k,)`` average spins of ``(k, n)`` profile rows.
+
+        The index-free observable for large-``n`` runs — e.g. as a
+        hitting-time *profile predicate*::
+
+            sim.hitting_times(lambda prof: game.magnetization_of_profiles(prof) >= 0.9)
+        """
+        prof = np.asarray(profiles)
+        return spins_from_profile(prof).mean(axis=-1)
+
     def energy(self, profile_index: int) -> float:
         """Hamiltonian value of the profile (same as the game potential)."""
         return self.potential(profile_index)
+
+    def energy_of_profiles(self, profiles: np.ndarray) -> np.ndarray:
+        """``(k,)`` Hamiltonian values of profile rows (index-free)."""
+        return self.potential_of_profiles(profiles)

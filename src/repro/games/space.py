@@ -108,6 +108,18 @@ class ProfileSpace:
         return max(self.num_strategies)
 
     @property
+    def fits_int64(self) -> bool:
+        """Whether every profile index fits in an int64.
+
+        The vectorised index machinery (``encode_many``, ``decode_many``,
+        ``deviations_many``, ``set_strategy_many``, ...) is only available
+        when this holds; beyond it, work with strategy-profile rows instead
+        (the engine's matrix state backend and the profile-row game
+        methods).
+        """
+        return self._size <= _INT64_MAX
+
+    @property
     def radices(self) -> np.ndarray:
         """Read-only view of the mixed-radix place values."""
         r = self._radices.view()
@@ -237,6 +249,12 @@ class ProfileSpace:
         The returned array has length ``m_player`` and is ordered by the
         strategy chosen by ``player`` (the entry at position
         ``strategy_of(index, player)`` equals ``index`` itself).
+
+        The dtype is explicit about the space size: int64 whenever the
+        space fits in int64 (:attr:`fits_int64`), otherwise ``object`` with
+        exact Python-int entries — object arrays must never reach the
+        vectorised engine paths (those validate and raise), only scalar
+        per-deviation consumers.
         """
         self._check_player(player)
         m = self.num_strategies[player]
@@ -355,8 +373,11 @@ class ProfileSpace:
         if self._size > _INT64_MAX:
             raise ValueError(
                 f"profile space has {self._size} profiles, which does not fit in "
-                f"int64; {what} needs vectorised int64 profile indices — use the "
-                f"scalar encode/decode methods for spaces this large"
+                f"int64; {what} needs vectorised int64 profile indices — for "
+                f"spaces this large work with strategy-profile rows instead "
+                f"(the engine's state='matrix' backend and the profile-row "
+                f"game methods such as utility_deviations_profiles), or use "
+                f"the scalar encode/decode methods"
             )
 
     def _require_dense(self, what: str) -> None:

@@ -204,3 +204,65 @@ class TestHammingStructure:
         assert space.weight(idx) == 2
         weights = space.weight(np.arange(space.size))
         assert weights.sum() == 12  # each of 3 coordinates is 1 in half of 8 profiles
+
+
+class TestInt64Boundary:
+    """Explicit dtype behaviour at and just past the int64 index edge.
+
+    62 binary players (2**62 profiles) is the last size whose profile
+    indices all fit in int64; 63 binary players (2**63 profiles) is the
+    first that does not (int64 max is 2**63 - 1) — the historical
+    "63-player ceiling" of the index-based engine.
+    """
+
+    def test_fits_int64_flag_at_the_edge(self):
+        assert ProfileSpace((2,) * 62).fits_int64
+        assert not ProfileSpace((2,) * 63).fits_int64
+
+    def test_deviations_dtype_is_explicit_on_both_sides(self):
+        below = ProfileSpace((2,) * 62)
+        devs = below.deviations(below.size - 1, 61)
+        assert devs.dtype == np.int64
+        assert devs[1] == below.size - 1
+        above = ProfileSpace((2,) * 63)
+        devs = above.deviations(above.size - 1, 62)
+        assert devs.dtype == object  # exact Python ints, never wrapped
+        assert devs[1] == above.size - 1
+        assert devs[0] == above.size - 1 - 2**62
+
+    def test_vectorised_surgery_works_at_62_players(self):
+        space = ProfileSpace((2,) * 62)
+        top = np.array([space.size - 1, space.size - 2], dtype=np.int64)
+        devs = space.deviations_many(top, 0)
+        assert devs.dtype == np.int64
+        np.testing.assert_array_equal(
+            devs[0], [space.size - 2, space.size - 1]
+        )
+        flipped = space.set_strategy_many(top, 0, np.array([0, 0]))
+        assert flipped.dtype == np.int64
+        np.testing.assert_array_equal(flipped, [space.size - 2, space.size - 2])
+        np.testing.assert_array_equal(
+            space.encode_many(space.decode_many(top)), top
+        )
+
+    def test_vectorised_surgery_raises_with_matrix_pointer_at_63_players(self):
+        space = ProfileSpace((2,) * 63)
+        idx = np.zeros(2, dtype=np.int64)
+        for call in (
+            lambda: space.deviations_many(idx, 0),
+            lambda: space.set_strategy_many(idx, 0, np.zeros(2, dtype=np.int64)),
+            lambda: space.encode_many(np.zeros((2, 63), dtype=np.int64)),
+            lambda: space.decode_many(idx),
+            lambda: space.replace_many(idx, 0, 1),
+        ):
+            with pytest.raises(ValueError, match="matrix"):
+                call()
+
+    def test_scalar_paths_are_exact_at_63_players(self):
+        space = ProfileSpace((2,) * 63)
+        top = space.size - 1
+        profile = space.decode(top)
+        assert profile == (1,) * 63
+        assert space.encode(profile) == top
+        assert space.strategy_of(top, 62) == 1
+        assert space.replace(top, 62, 0) == top - 2**62
