@@ -10,7 +10,10 @@ at a few noise levels, and reports for each beta:
 
 then re-measures the same chain with the batched ensemble engine (sampled
 TV mixing estimate and grand-coupling coalescence), showing the two
-pipelines side by side.
+pipelines side by side, and finishes with the adaptive estimators: an
+Ising hitting time and the stationary welfare, each reported as an
+anytime-valid confidence interval that stopped itself as soon as it was
+tight enough.
 
 Run with:  python examples/quickstart.py
 """
@@ -23,11 +26,15 @@ import numpy as np
 from repro import (
     CoordinationParams,
     GraphicalCoordinationGame,
+    IsingGame,
     LogitDynamics,
+    empirical_hitting_times,
     estimate_mixing_time_ensemble,
+    estimate_stationary_welfare,
     measure_mixing_time,
     measure_relaxation_time,
     render_table,
+    stationary_expected_welfare,
     theorem56_ring_mixing_upper,
     theorem57_ring_mixing_lower,
 )
@@ -122,6 +129,37 @@ def main() -> None:
         "\nThe sampled estimates track the exact column above while touching only\n"
         "O(replicas) state per step — this is the pipeline that keeps working when\n"
         "the profile space outgrows the dense machinery."
+    )
+
+    # -- adaptive estimation with error bars --------------------------------
+    ising = IsingGame(nx.cycle_graph(8), coupling=1.0)
+    consensus = int(ising.space.encode(np.ones(8, dtype=np.int64)))
+    hitting = empirical_hitting_times(
+        ising, 0.7, 0, consensus, max_steps=4000, precision=0.05, seed=42
+    )
+    welfare = estimate_stationary_welfare(
+        ising, 0.7, num_steps=2000, precision=0.75, seed=42
+    )
+    exact_welfare = stationary_expected_welfare(ising, 0.7)
+
+    print(
+        "\nAdaptive estimators (anytime-valid 95% confidence sequences; replica\n"
+        "chunks keep coming until the interval meets the requested precision):"
+    )
+    print(
+        render_table(
+            ["quantity", "estimate [95% CS]", "replicas", "stopped early"],
+            [
+                ["consensus hitting time", hitting, hitting.n, hitting.stopped_early],
+                ["stationary welfare", welfare, welfare.n, welfare.stopped_early],
+            ],
+        )
+    )
+    print(
+        f"\nExact stationary welfare for comparison: {exact_welfare:.4g} — inside\n"
+        "the interval, with the replica count chosen by the data instead of\n"
+        "guessed in advance; a fixed master seed reproduces every number above\n"
+        "bit-for-bit regardless of chunking."
     )
 
 

@@ -17,7 +17,11 @@ Persiano — SPAA 2011 / arXiv:1212.1884).  The package provides:
 * :mod:`repro.engine` — the batched, matrix-free simulation engine:
   replica ensembles and coupled-pair ensembles advanced as flat numpy
   arrays, which is what all Monte-Carlo entry points run on;
-* :mod:`repro.analysis` — parameter sweeps and experiment report tables.
+* :mod:`repro.analysis` — parameter sweeps and experiment report tables;
+* :mod:`repro.stats` — anytime-valid streaming statistics: confidence
+  sequences that survive peeking after every replica chunk, Welford
+  accumulators, and the chunked adaptive-stopping driver behind every
+  ``precision=`` / ``alpha=`` knob in the Monte-Carlo estimators.
 
 Quickstart::
 
@@ -37,10 +41,15 @@ from .analysis import (
     beta_sweep,
     dynamics_family_sweep,
     ensemble_beta_sweep,
+    estimate_stationary_welfare,
     exponential_growth_rate,
+    format_interval,
+    hitting_time_size_sweep,
     render_experiment,
     render_table,
     size_sweep,
+    stationary_expected_welfare,
+    welfare_of_profiles,
 )
 from .core import (
     AnnealedLogitDynamics,
@@ -106,6 +115,7 @@ from .engine import (
     EnsembleSimulator,
     ParallelKernel,
     RoundRobinKernel,
+    SeededSequentialKernel,
     SequentialKernel,
     UpdateKernel,
     maximal_coupling_update_many,
@@ -128,6 +138,15 @@ from .markov import (
     spectral_summary,
     total_variation,
 )
+from .stats import (
+    EmpiricalBernsteinCS,
+    HedgedBettingCS,
+    NormalMixtureCS,
+    StreamingEstimate,
+    StreamingMoments,
+    fixed_n_clt_interval,
+    run_until_width,
+)
 
 __version__ = "1.0.0"
 
@@ -139,10 +158,15 @@ __all__ = [
     "beta_sweep",
     "dynamics_family_sweep",
     "ensemble_beta_sweep",
+    "estimate_stationary_welfare",
     "exponential_growth_rate",
+    "format_interval",
+    "hitting_time_size_sweep",
     "render_experiment",
     "render_table",
     "size_sweep",
+    "stationary_expected_welfare",
+    "welfare_of_profiles",
     # core
     "AnnealedLogitDynamics",
     "BestResponseDynamics",
@@ -205,6 +229,7 @@ __all__ = [
     "EnsembleSimulator",
     "ParallelKernel",
     "RoundRobinKernel",
+    "SeededSequentialKernel",
     "SequentialKernel",
     "UpdateKernel",
     "maximal_coupling_update_many",
@@ -224,4 +249,12 @@ __all__ = [
     "relaxation_time",
     "spectral_summary",
     "total_variation",
+    # stats
+    "EmpiricalBernsteinCS",
+    "HedgedBettingCS",
+    "NormalMixtureCS",
+    "StreamingEstimate",
+    "StreamingMoments",
+    "fixed_n_clt_interval",
+    "run_until_width",
 ]

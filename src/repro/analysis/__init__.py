@@ -1,14 +1,16 @@
 """Analysis helpers: parameter sweeps and experiment-report rendering."""
 
 from .welfare import (
+    estimate_stationary_welfare,
     logit_price_of_anarchy,
     optimal_welfare,
     social_welfare_vector,
     stationary_expected_welfare,
+    welfare_of_profiles,
     welfare_vs_beta,
     worst_equilibrium_welfare,
 )
-from .report import format_value, render_experiment, render_table
+from .report import format_interval, format_value, render_experiment, render_table
 from .sweep import (
     SweepRecord,
     SweepResult,
@@ -21,12 +23,15 @@ from .sweep import (
 )
 
 __all__ = [
+    "estimate_stationary_welfare",
     "logit_price_of_anarchy",
     "optimal_welfare",
     "social_welfare_vector",
     "stationary_expected_welfare",
+    "welfare_of_profiles",
     "welfare_vs_beta",
     "worst_equilibrium_welfare",
+    "format_interval",
     "format_value",
     "render_experiment",
     "render_table",

@@ -13,11 +13,32 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["format_value", "render_table", "render_experiment"]
+from ..stats.accumulators import StreamingEstimate
+
+__all__ = ["format_value", "format_interval", "render_table", "render_experiment"]
+
+
+def format_interval(
+    estimate: float, lower: float, upper: float, precision: int = 4
+) -> str:
+    """``estimate [lower, upper]`` — the error-bar cell of the sweep tables."""
+    return (
+        f"{format_value(float(estimate), precision)} "
+        f"[{format_value(float(lower), precision)}, "
+        f"{format_value(float(upper), precision)}]"
+    )
 
 
 def format_value(value: object, precision: int = 4) -> str:
-    """Human-friendly formatting of table cells (floats, ints, bools, inf)."""
+    """Human-friendly formatting of table cells (floats, ints, bools, inf).
+
+    Interval-carrying estimates
+    (:class:`~repro.stats.accumulators.StreamingEstimate`) render as
+    ``estimate [lower, upper]``, so sweep tables propagate error bars by
+    simply putting the estimate object in the cell.
+    """
+    if isinstance(value, StreamingEstimate):
+        return format_interval(value.estimate, value.lower, value.upper, precision)
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, (int, np.integer)):

@@ -24,6 +24,7 @@ from ..core.mixing import (
     measure_relaxation_time,
 )
 from ..games.base import Game
+from ..stats.confseq import NormalMixtureCS
 
 __all__ = [
     "SweepRecord",
@@ -110,6 +111,7 @@ def ensemble_beta_sweep(
     max_time: int = 10**5,
     rng: np.random.Generator | None = None,
     extra: Callable[[Game, float], dict] | None = None,
+    alpha: float | None = None,
 ) -> SweepResult:
     """Sampled mixing-time sweep via the batched replica ensemble.
 
@@ -118,7 +120,12 @@ def ensemble_beta_sweep(
     :func:`~repro.core.mixing.estimate_mixing_time_ensemble` instead of the
     exact computation.  Relaxation times are not available in this regime
     and are reported as NaN; each record's ``extra`` carries the TV value at
-    the reported estimate and whether the run hit ``max_time``.
+    the reported estimate, an explicit ``converged`` flag (grid points that
+    never crossed ``epsilon`` report the ``-1`` sentinel as their mixing
+    time, not the horizon), and — when ``alpha`` is given — the endpoints
+    of the anytime-valid TV sampling band at the stopping checkpoint
+    (certified stopping; see
+    :func:`~repro.core.mixing.estimate_tv_convergence`).
     """
     records = []
     for beta in betas:
@@ -130,11 +137,16 @@ def ensemble_beta_sweep(
             epsilon=epsilon,
             max_time=max_time,
             rng=rng,
+            alpha=alpha,
         )
         extras = {
             "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
             "capped": estimate.capped,
+            "converged": estimate.converged,
         }
+        if estimate.tv_band is not None:
+            extras["tv_lower"] = float(estimate.tv_band[-1, 0])
+            extras["tv_upper"] = float(estimate.tv_band[-1, 1])
         if extra is not None:
             extras.update(extra(game, beta))
         records.append(
@@ -161,6 +173,7 @@ def dynamics_family_sweep(
     escape_states: Sequence[int] | np.ndarray | None = None,
     max_escape_steps: int = 10**5,
     rng: np.random.Generator | None = None,
+    welfare_alpha: float = 0.05,
 ) -> SweepResult:
     """Compare dynamics families on one game via the batched engine.
 
@@ -180,6 +193,13 @@ def dynamics_family_sweep(
     * when ``escape_states`` is given, the empirical escape time from that
       well (mean over escaped replicas, plus the escaped fraction), which
       is the metastability comparison across families.
+
+    Every record's ``extra`` also carries ``welfare_lower`` /
+    ``welfare_upper`` — a level-``welfare_alpha`` confidence interval for
+    the settled ensemble's mean welfare (CLT-style normal-mixture
+    boundary) — and an explicit ``converged`` flag next to the legacy
+    ``capped`` one, so the sweep tables render error bars and
+    non-convergence honestly.
 
     Records carry ``parameter = position in the sweep`` and the family name
     in ``extra["dynamics"]``; non-convergent families come back with
@@ -218,15 +238,24 @@ def dynamics_family_sweep(
             check_every=check_every,
             rng=rng,
         )
+        # utilitarian welfare of the settled ensemble: one batched
+        # all-player utility gather over the final replica states, with a
+        # CLT-style confidence interval for the mean (one-shot evaluation
+        # of the time-uniform boundary — conservative, never invalid)
+        welfare_samples = game.utility_profile_many(
+            estimate.final_indices
+        ).sum(axis=1)
+        welfare_cs = NormalMixtureCS(alpha=welfare_alpha)
+        welfare_cs.update(welfare_samples)
+        welfare_lower, welfare_upper = welfare_cs.interval()
         extras: dict = {
             "dynamics": name,
             "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
             "capped": estimate.capped,
-            # utilitarian welfare of the settled ensemble: one batched
-            # all-player utility gather over the final replica states
-            "mean_welfare": float(
-                game.utility_profile_many(estimate.final_indices).sum(axis=1).mean()
-            ),
+            "converged": estimate.converged,
+            "mean_welfare": float(welfare_samples.mean()),
+            "welfare_lower": float(welfare_lower),
+            "welfare_upper": float(welfare_upper),
         }
         if escape_states is not None:
             well = np.unique(np.asarray(escape_states, dtype=np.int64))
@@ -289,6 +318,11 @@ def hitting_time_size_sweep(
     max_steps: int = 10**5,
     rng: np.random.Generator | None = None,
     dynamics_factory: Callable[[Game, float], object] | None = None,
+    precision: float | None = None,
+    alpha: float = 0.05,
+    seed: int | np.random.SeedSequence | None = None,
+    chunk_size: int = 64,
+    max_replicas: int = 4096,
 ) -> SweepResult:
     """Monte-Carlo hitting-time scaling over system size, fully index-free.
 
@@ -311,9 +345,31 @@ def hitting_time_size_sweep(
     that never reach the target within ``max_steps`` are excluded from the
     mean — a ``reached_fraction`` well below 1 flags that the estimate is
     censored.
+
+    ``precision`` switches every grid point to the adaptive chunked
+    estimator (:func:`~repro.core.metastability.empirical_hitting_times`
+    with ``precision=``): per size, replica chunks keep coming until the
+    anytime-valid interval for the truncated mean ``E[min(tau,
+    max_steps)]`` is at most ``precision * max_steps`` wide, and the
+    ``extra`` dict instead carries the interval (``mean_hitting_time``,
+    ``hitting_lower``, ``hitting_upper``), the replica count the point
+    actually needed (``num_replicas_used``) and ``stopped_early``; instead
+    of the legacy ``reached_fraction`` it reports ``truncated_fraction``
+    — the fraction of samples clamped at the horizon, under whose
+    convention a replica hitting exactly *at* ``max_steps`` is
+    indistinguishable from a censored one (their contribution to the
+    truncated mean is identical).  Grid points are seeded from one master
+    ``seed`` (a spawned child per size), so the whole sweep is
+    reproducible end to end.
     """
     rng = np.random.default_rng() if rng is None else rng
     records = []
+    if precision is not None:
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
     for n in sizes:
         game = game_factory(int(n))
         if dynamics_factory is None:
@@ -322,6 +378,42 @@ def hitting_time_size_sweep(
             dynamics = LogitDynamics(game, float(beta))
         else:
             dynamics = dynamics_factory(game, float(beta))
+        if precision is not None:
+            from ..core.metastability import empirical_hitting_times
+
+            estimate = empirical_hitting_times(
+                game,
+                float(beta),
+                np.asarray(start_factory(game)),
+                target_factory(game),
+                max_steps=max_steps,
+                dynamics=dynamics,
+                precision=precision,
+                alpha=alpha,
+                chunk_size=chunk_size,
+                max_replicas=max_replicas,
+                seed=root.spawn(1)[0],
+                keep_samples=True,
+            )
+            times = estimate.samples
+            records.append(
+                SweepRecord(
+                    parameter=float(n),
+                    mixing_time=float("nan"),
+                    relaxation_time=float("nan"),
+                    extra={
+                        "mean_hitting_time": float(estimate.estimate),
+                        "hitting_lower": float(estimate.lower),
+                        "hitting_upper": float(estimate.upper),
+                        "num_replicas_used": int(estimate.n),
+                        "stopped_early": bool(estimate.stopped_early),
+                        "truncated_fraction": float(
+                            np.count_nonzero(times >= max_steps) / times.size
+                        ),
+                    },
+                )
+            )
+            continue
         sim = dynamics.ensemble(
             num_replicas, start=np.asarray(start_factory(game)), rng=rng
         )

@@ -25,11 +25,19 @@ from typing import Sequence
 import numpy as np
 
 from ..core.logit import LogitDynamics
+from ..engine.ensemble import EnsembleSimulator
+from ..engine.kernels import require_sequential_dynamics
 from ..games.base import Game, pure_nash_equilibria
+from ..games.space import DENSE_PROFILE_CAP
+from ..stats.accumulators import StreamingEstimate
+from ..stats.adaptive import run_until_width
+from ..stats.confseq import EmpiricalBernsteinCS, NormalMixtureCS
 
 __all__ = [
     "social_welfare_vector",
     "stationary_expected_welfare",
+    "estimate_stationary_welfare",
+    "welfare_of_profiles",
     "optimal_welfare",
     "worst_equilibrium_welfare",
     "logit_price_of_anarchy",
@@ -49,6 +57,114 @@ def stationary_expected_welfare(game: Game, beta: float) -> float:
     """``E_pi[W]`` under the logit stationary distribution at inverse noise beta."""
     pi = LogitDynamics(game, beta).stationary_distribution()
     return float(np.dot(pi, social_welfare_vector(game)))
+
+
+def welfare_of_profiles(game: Game, profiles: np.ndarray) -> np.ndarray:
+    """Utilitarian welfare of ``(k, n)`` strategy-profile rows, index-free.
+
+    ``u_i(x)`` is the ``x_i`` column of player ``i``'s deviation row, so
+    the welfare of a batch of profiles costs one
+    :meth:`~repro.games.Game.utility_deviations_profiles` call per player
+    and never touches a profile index — the welfare observable that keeps
+    working past the int64 profile-index ceiling.
+    """
+    profiles = np.asarray(profiles)
+    welfare = np.zeros(profiles.shape[0], dtype=float)
+    rows = np.arange(profiles.shape[0])
+    for player in range(game.num_players):
+        devs = game.utility_deviations_profiles(player, profiles)
+        welfare += devs[rows, profiles[:, player]]
+    return welfare
+
+
+def estimate_stationary_welfare(
+    game: Game,
+    beta: float,
+    num_steps: int | None = None,
+    precision: float | None = None,
+    alpha: float = 0.05,
+    num_replicas: int = 256,
+    chunk_size: int = 64,
+    max_replicas: int = 4096,
+    seed: int | np.random.SeedSequence | None = None,
+    start: Sequence[int] | np.ndarray | int | None = None,
+    dynamics=None,
+    support: tuple[float, float] | str | None = "auto",
+) -> StreamingEstimate:
+    """Sampled ``E[W(X_T)]`` with an anytime-valid confidence interval.
+
+    The Monte-Carlo counterpart of :func:`stationary_expected_welfare` for
+    profile spaces beyond the dense pipeline: each replica runs ``T =
+    num_steps`` steps of the logit dynamics (default ``100 * n``, i.e. one
+    hundred player-sweeps) from ``start`` and contributes the welfare of
+    its final profile.  The estimand is the burn-in-``T`` expectation
+    ``E[W(X_T)]``, which approximates the stationary expectation once
+    ``T`` dominates the mixing time — the burn-in choice is the caller's
+    statement about mixing, not something this estimator can certify.
+
+    Replicas are spawned in chunks under the ``SeedSequence.spawn``
+    discipline (pooled samples independent of ``chunk_size``); with
+    ``precision`` given, chunks keep coming until the confidence interval
+    is at most ``precision`` wide — absolute welfare units — or
+    ``max_replicas`` is reached, otherwise exactly ``num_replicas``
+    replicas run and the interval is whatever they support.  ``support``
+    selects the boundary: an explicit ``(lo, hi)`` welfare range uses the
+    empirical-Bernstein CS, ``None`` the CLT-style normal-mixture CS, and
+    ``"auto"`` (default) derives the exact range from
+    :func:`social_welfare_vector` while the space is within the dense cap
+    and falls back to the CLT-style boundary beyond it.
+
+    Because the sampler always runs on per-replica seeded streams,
+    ``dynamics`` must be sequential (the default logit chain or any rule
+    advanced one random mover per step); parallel / round-robin / annealed
+    overrides are rejected rather than silently simulated as a different
+    chain.
+    """
+    if dynamics is None:
+        dynamics = LogitDynamics(game, beta)
+    require_sequential_dynamics(dynamics)
+    if precision is not None and precision <= 0:
+        raise ValueError("precision must be positive (absolute welfare units)")
+    n = game.space.num_players
+    if num_steps is None:
+        num_steps = 100 * n
+    if num_steps < 0:
+        raise ValueError("num_steps must be non-negative")
+    if support == "auto":
+        if game.space.size <= DENSE_PROFILE_CAP:
+            welfare = social_welfare_vector(game)
+            support = (float(welfare.min()), float(welfare.max()))
+        else:
+            support = None
+    if support is not None and support[0] == support[1]:
+        # constant welfare: every sample equals the mean, no interval needed
+        value = float(support[0])
+        return StreamingEstimate(
+            estimate=value, lower=value, upper=value, n=0,
+            stopped_early=False, alpha=float(alpha),
+            target_width=precision,
+        )
+
+    def make_chunk(children):
+        sim = EnsembleSimulator.seeded(dynamics, children, start=start)
+        sim.run(num_steps)
+        if game.space.fits_int64:
+            return game.utility_profile_many(sim.indices).sum(axis=1)
+        return welfare_of_profiles(game, sim.profiles)
+
+    if support is not None:
+        cs = EmpiricalBernsteinCS(alpha=alpha, support=support)
+    else:
+        cs = NormalMixtureCS(alpha=alpha)
+    return run_until_width(
+        make_chunk,
+        target_width=float(precision) if precision is not None else 0.0,
+        alpha=alpha,
+        max_n=max_replicas if precision is not None else num_replicas,
+        chunk_size=chunk_size,
+        seed=seed,
+        cs=cs,
+    )
 
 
 def optimal_welfare(game: Game) -> float:

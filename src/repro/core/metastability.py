@@ -31,10 +31,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.ensemble import EnsembleSimulator
+from ..engine.kernels import require_sequential_dynamics
 from ..games.base import Game
 from ..games.potential import PotentialGame
 from ..markov.chain import MarkovChain
 from ..markov.tv import total_variation
+from ..stats.accumulators import StreamingEstimate
+from ..stats.adaptive import run_until_width
 from .logit import LogitDynamics
 
 __all__ = [
@@ -145,14 +149,8 @@ def escape_time_from(
     return float(start @ h)
 
 
-def _conditional_gibbs_starts(
-    game: Game,
-    beta: float,
-    idx: np.ndarray,
-    num_replicas: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Sample replica start indices from pi conditioned on the set ``idx``.
+def _conditional_gibbs_weights(game: Game, beta: float, idx: np.ndarray) -> np.ndarray:
+    """Start weights on the set ``idx``: pi conditioned on the well.
 
     For potential games the conditional Gibbs weights come straight from the
     potential vector (no transition matrix needed); otherwise the start is
@@ -166,20 +164,85 @@ def _conditional_gibbs_starts(
         weights /= weights.sum()
     else:
         weights = np.full(idx.size, 1.0 / idx.size)
-    return rng.choice(idx, size=num_replicas, p=weights)
+    return weights
+
+
+def _reject_fixed_mode_arguments(
+    num_replicas: int | None, rng: np.random.Generator | None
+) -> None:
+    """Adaptive mode sizes and seeds the run itself; accepting-and-ignoring
+    the fixed-mode knobs would silently change what the caller asked for."""
+    if num_replicas is not None:
+        raise ValueError(
+            "num_replicas is the fixed-mode replica count; adaptive "
+            "(precision=) mode chooses its own sample size — set the budget "
+            "with max_replicas instead"
+        )
+    if rng is not None:
+        raise ValueError(
+            "rng seeds the fixed-mode run; adaptive (precision=) mode draws "
+            "per-replica streams from SeedSequence children — pass seed= "
+            "(an int or SeedSequence) for reproducibility"
+        )
+
+
+def _adaptive_truncated_times(
+    build_sim,
+    precision: float,
+    alpha: float,
+    max_steps: int,
+    chunk_size: int,
+    max_replicas: int,
+    seed,
+    keep_samples: bool,
+) -> StreamingEstimate:
+    """Adaptive driver shared by the hitting/escape estimators.
+
+    ``build_sim(children)`` maps spawned SeedSequence children to a seeded
+    ensemble plus its first-passage call; samples are the per-replica first-
+    passage times *truncated at the horizon* (``-1`` not-reached entries
+    count as ``max_steps``), so the estimand is the bounded quantity
+    ``E[min(tau, max_steps)]`` and the empirical-Bernstein CS applies with
+    support ``[0, max_steps]``.  ``precision`` is relative to that support:
+    the driver stops when the interval is at most ``precision * max_steps``
+    wide.
+    """
+    if not 0 < precision:
+        raise ValueError("precision must be positive (fraction of max_steps)")
+
+    def make_chunk(children):
+        times = build_sim(children)
+        return np.where(times < 0, max_steps, times).astype(float)
+
+    return run_until_width(
+        make_chunk,
+        target_width=float(precision) * float(max_steps),
+        alpha=alpha,
+        max_n=max_replicas,
+        chunk_size=chunk_size,
+        support=(0.0, float(max_steps)),
+        seed=seed,
+        keep_samples=keep_samples,
+    )
 
 
 def empirical_escape_times(
     game: Game,
     beta: float,
     states,
-    num_replicas: int = 128,
+    num_replicas: int | None = None,
     max_steps: int = 10**6,
     start_distribution: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     dynamics=None,
     start_profiles: np.ndarray | None = None,
-) -> np.ndarray:
+    precision: float | None = None,
+    alpha: float = 0.05,
+    chunk_size: int = 64,
+    max_replicas: int = 4096,
+    seed: int | np.random.SeedSequence | None = None,
+    keep_samples: bool = True,
+) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
     A matrix-free, ensemble-based counterpart of :func:`escape_time_from`:
@@ -204,10 +267,33 @@ def empirical_escape_times(
     ``ensemble`` method (the Section 6 variants included) works, so escape
     behaviour can be compared across dynamics families; ``game`` and
     ``beta`` still pick the conditional-Gibbs start inside the well.
+
+    ``precision`` switches the estimator to *adaptive* mode: replicas run
+    in chunks of ``chunk_size`` (one ``SeedSequence.spawn`` child per
+    replica, so pooled samples are identical for every chunk size), an
+    empirical-Bernstein confidence sequence tracks the mean escape time
+    truncated at the horizon — the bounded estimand ``E[min(tau,
+    max_steps)]``, with ``-1`` never-escaped entries counted as
+    ``max_steps`` — and the run stops as soon as the interval is at most
+    ``precision * max_steps`` wide (or ``max_replicas`` is exhausted).
+    The return type is then a
+    :class:`~repro.stats.accumulators.StreamingEstimate` carrying the
+    interval; with ``precision=None`` (default) the legacy fixed-replica
+    sample array is returned, bit-for-bit unchanged.  Adaptive mode sizes
+    and seeds the run itself: it is seeded by ``seed`` (not ``rng``) and
+    budgeted by ``max_replicas`` (not ``num_replicas``) — passing either
+    fixed-mode knob together with ``precision`` is an error, not a silent
+    ignore.  It needs sequential dynamics, and for a predicate well
+    accepts only a single shared ``(n,)`` start profile.
     """
+    if precision is not None:
+        _reject_fixed_mode_arguments(num_replicas, rng)
+    num_replicas = 128 if num_replicas is None else int(num_replicas)
     rng = np.random.default_rng() if rng is None else rng
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
+    if precision is not None:
+        require_sequential_dynamics(dynamics)
     if callable(states):
         if start_distribution is not None:
             raise ValueError(
@@ -220,24 +306,46 @@ def empirical_escape_times(
                 "pass start_profiles (an (n,) profile or (R, n) per-replica "
                 "profiles inside the well)"
             )
+
+        def check_inside(sim, count):
+            inside0 = np.asarray(states(sim.profiles), dtype=bool)
+            if not np.all(inside0):
+                raise ValueError(
+                    "start_profiles must lie inside the well: the predicate is "
+                    f"False for {int(np.count_nonzero(~inside0))} of "
+                    f"{count} replicas at time 0 (escape times from "
+                    f"outside the set would all read 0)"
+                )
+
+        if precision is not None:
+            profile = np.asarray(start_profiles)
+            if profile.ndim != 1:
+                raise ValueError(
+                    "adaptive mode replays a single (n,) start profile per "
+                    "chunk; per-replica (R, n) start profiles would tie the "
+                    "samples to one fixed replica count"
+                )
+
+            def build_sim(children):
+                sim = EnsembleSimulator.seeded(dynamics, children, start=profile)
+                check_inside(sim, len(children))
+                return sim.exit_times(states, max_steps=max_steps)
+
+            return _adaptive_truncated_times(
+                build_sim, precision, alpha, max_steps,
+                chunk_size, max_replicas, seed, keep_samples,
+            )
         sim = dynamics.ensemble(
             num_replicas, start=np.asarray(start_profiles), rng=rng
         )
-        inside0 = np.asarray(states(sim.profiles), dtype=bool)
-        if not np.all(inside0):
-            raise ValueError(
-                "start_profiles must lie inside the well: the predicate is "
-                f"False for {int(np.count_nonzero(~inside0))} of "
-                f"{num_replicas} replicas at time 0 (escape times from "
-                f"outside the set would all read 0)"
-            )
+        check_inside(sim, num_replicas)
         return sim.exit_times(states, max_steps=max_steps)
     if start_profiles is not None:
         raise ValueError("start_profiles is only for predicate wells; use "
                          "start_distribution with an index well")
     idx = _validate_subset(states, game.space.size)
     if start_distribution is None:
-        starts = _conditional_gibbs_starts(game, beta, idx, num_replicas, rng)
+        weights = _conditional_gibbs_weights(game, beta, idx)
     else:
         weights = np.asarray(start_distribution, dtype=float)
         if weights.shape != (idx.size,):
@@ -245,7 +353,23 @@ def empirical_escape_times(
         total = float(weights.sum())
         if total <= 0:
             raise ValueError("start_distribution must have positive mass")
-        starts = rng.choice(idx, size=num_replicas, p=weights / total)
+        weights = weights / total
+    if precision is not None:
+
+        def build_sim(children):
+            # each replica's start is drawn from its own stream, then the
+            # same stream drives its trajectory — the whole sample is a
+            # pure function of the replica's seed
+            gens = [np.random.default_rng(c) for c in children]
+            starts = idx[[int(g.choice(idx.size, p=weights)) for g in gens]]
+            sim = EnsembleSimulator.seeded(dynamics, gens, start_indices=starts)
+            return sim.exit_times(idx, max_steps=max_steps)
+
+        return _adaptive_truncated_times(
+            build_sim, precision, alpha, max_steps,
+            chunk_size, max_replicas, seed, keep_samples,
+        )
+    starts = rng.choice(idx, size=num_replicas, p=weights)
     sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
     return sim.exit_times(idx, max_steps=max_steps)
 
@@ -255,11 +379,17 @@ def empirical_hitting_times(
     beta: float,
     start: Sequence[int] | int,
     targets,
-    num_replicas: int = 128,
+    num_replicas: int | None = None,
     max_steps: int = 10**6,
     rng: np.random.Generator | None = None,
     dynamics=None,
-) -> np.ndarray:
+    precision: float | None = None,
+    alpha: float = 0.05,
+    chunk_size: int = 64,
+    max_replicas: int = 4096,
+    seed: int | np.random.SeedSequence | None = None,
+    keep_samples: bool = True,
+) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
     The metastability picture of the paper's slow-mixing regimes (e.g. the
@@ -275,13 +405,43 @@ def empirical_hitting_times(
     overrides the chain (any object with an ``ensemble`` method, variants
     included); ``game`` and ``beta`` are then only documentation of the
     default.
+
+    ``precision`` switches to adaptive mode (see
+    :func:`empirical_escape_times` — same chunked ``SeedSequence.spawn``
+    discipline, same truncated-mean estimand ``E[min(tau, max_steps)]``,
+    same stopping rule, same rejection of the fixed-mode ``num_replicas`` /
+    ``rng`` knobs): the return type becomes a
+    :class:`~repro.stats.accumulators.StreamingEstimate` whose interval is
+    at most ``precision * max_steps`` wide when ``stopped_early`` is true.
+    With ``precision=None`` the legacy fixed-replica sample array is
+    returned unchanged.
     """
+    if precision is not None:
+        _reject_fixed_mode_arguments(num_replicas, rng)
+    num_replicas = 128 if num_replicas is None else int(num_replicas)
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
     if isinstance(start, (int, np.integer)):
         start_state: np.ndarray | int = int(start)
     else:
         start_state = np.asarray(start, dtype=np.int64)
+    if precision is not None:
+        require_sequential_dynamics(dynamics)
+        if isinstance(start_state, np.ndarray) and start_state.ndim != 1:
+            raise ValueError(
+                "adaptive mode replays a single start (profile index or (n,) "
+                "profile) per chunk; per-replica (R, n) start profiles would "
+                "tie the samples to one fixed replica count"
+            )
+
+        def build_sim(children):
+            sim = EnsembleSimulator.seeded(dynamics, children, start=start_state)
+            return sim.hitting_times(targets, max_steps=max_steps)
+
+        return _adaptive_truncated_times(
+            build_sim, precision, alpha, max_steps,
+            chunk_size, max_replicas, seed, keep_samples,
+        )
     sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng)
     return sim.hitting_times(targets, max_steps=max_steps)
 

@@ -29,6 +29,7 @@ from ..markov.coupling import coalescence_time_bound
 from ..markov.mixing import MixingTimeResult, mixing_time
 from ..markov.spectral import SpectralSummary, relaxation_mixing_bounds, spectral_summary
 from ..markov.tv import total_variation
+from ..stats.confseq import checkpoint_alpha, tv_distance_band
 from .logit import LogitDynamics
 
 __all__ = [
@@ -170,6 +171,11 @@ def estimate_mixing_time_coupling(
 class EnsembleMixingEstimate:
     """Sampled mixing-time estimate from an ensemble of replicas."""
 
+    #: First checkpoint at which the stopping criterion held, or ``-1``
+    #: when it never did within the horizon — the not-reached sentinel
+    #: (same convention as the first-passage ``-1`` and the annealed
+    #: horizon clamp), so running out of time is never mistaken for
+    #: convergence at the last checkpoint.
     mixing_time_estimate: int
     epsilon: float
     num_replicas: int
@@ -181,6 +187,17 @@ class EnsembleMixingEstimate:
     #: estimates built before this field existed); lets downstream code
     #: compute state observables (welfare, magnetisation) without re-running.
     final_indices: np.ndarray | None = None
+    #: Whether the run actually satisfied its stopping criterion (TV point
+    #: estimate at or below ``epsilon``; certified upper band when ``alpha``
+    #: was given).  Always ``not capped`` — carried explicitly so callers
+    #: never have to infer convergence from the estimate value.
+    converged: bool = True
+    #: Significance level of the anytime-valid TV sampling band (``None``
+    #: when the band was not requested).
+    alpha: float | None = None
+    #: ``(k, 2)`` array of per-checkpoint ``(lower, upper)`` band endpoints
+    #: aligned with ``tv_curve`` rows; ``None`` without ``alpha``.
+    tv_band: np.ndarray | None = None
 
     def __int__(self) -> int:  # pragma: no cover - convenience
         return self.mixing_time_estimate
@@ -196,6 +213,7 @@ def estimate_tv_convergence(
     check_every: int | None = None,
     rng: np.random.Generator | None = None,
     mode: str = "auto",
+    alpha: float | None = None,
 ) -> EnsembleMixingEstimate:
     """Time for an ensemble of ``dynamics`` to reach ``reference`` in TV.
 
@@ -216,6 +234,24 @@ def estimate_tv_convergence(
     counts, ``O(R)`` memory) instead of a dense ``(|S|,)`` one; the
     ``reference`` distribution itself is still dense, which is the real
     ceiling of this estimator.
+
+    ``alpha`` requests the anytime-valid sampling band around the TV curve
+    (:func:`repro.stats.confseq.tv_distance_band` with
+    :func:`~repro.stats.confseq.checkpoint_alpha` spending, simultaneously
+    valid over every checkpoint): the result then carries per-checkpoint
+    ``tv_band`` endpoints, and the stopping rule becomes *certified* — the
+    run stops once the band's **upper** endpoint is at or below
+    ``epsilon``, so a reported convergence time cannot be a sampling
+    fluke.  The band's honesty costs replicas: its radius includes the
+    ``sqrt(|S| / (4 R))`` empirical-TV bias term, so certification needs
+    ``num_replicas`` large compared to the profile-space size.  With
+    ``alpha=None`` (default) the legacy point-estimate stopping rule is
+    used unchanged.
+
+    Whatever the rule, never-converging runs come back with ``converged
+    False`` and the ``-1`` sentinel in ``mixing_time_estimate`` — running
+    out of horizon is reported as such, not as a convergence time at the
+    last checkpoint.
     """
     if not 0 < epsilon < 1:
         raise ValueError("epsilon must lie in (0, 1)")
@@ -238,23 +274,36 @@ def estimate_tv_convergence(
     check_every = max(int(check_every), 1)
 
     curve: list[tuple[float, float]] = []
+    band: list[tuple[float, float]] = []
     t = 0
+    converged = False
     while True:
         tv = _ensemble_tv(sim, reference)
         curve.append((float(t), float(tv)))
-        if tv <= epsilon or t >= max_time:
+        if alpha is None:
+            converged = tv <= epsilon
+        else:
+            lower, upper = tv_distance_band(
+                tv, num_replicas, space.size, checkpoint_alpha(len(curve), alpha)
+            )
+            band.append((lower, upper))
+            converged = upper <= epsilon
+        if converged or t >= max_time:
             break
         steps = min(check_every, max_time - t)
         sim.run(steps)
         t += steps
     return EnsembleMixingEstimate(
-        mixing_time_estimate=int(t),
+        mixing_time_estimate=int(t) if converged else -1,
         epsilon=epsilon,
         num_replicas=int(num_replicas),
         check_every=check_every,
         tv_curve=np.asarray(curve, dtype=float),
-        capped=bool(curve[-1][1] > epsilon),
+        capped=not converged,
         final_indices=sim.indices,
+        converged=converged,
+        alpha=alpha,
+        tv_band=np.asarray(band, dtype=float) if alpha is not None else None,
     )
 
 
@@ -268,6 +317,7 @@ def estimate_mixing_time_ensemble(
     check_every: int | None = None,
     rng: np.random.Generator | None = None,
     mode: str = "auto",
+    alpha: float | None = None,
 ) -> EnsembleMixingEstimate:
     """Sampled TV mixing estimate from ``num_replicas`` parallel replicas.
 
@@ -292,6 +342,12 @@ def estimate_mixing_time_ensemble(
     ``sqrt(|S| / R)``, so ``num_replicas`` should be large compared to the
     profile-space size for tight estimates — the estimate is biased
     *upward* (conservative) otherwise.
+
+    A run that never crosses ``epsilon`` within ``max_time`` reports
+    ``converged False`` and the ``-1`` sentinel, never the last checkpoint
+    as if it were a measurement; ``alpha`` additionally requests the
+    anytime-valid TV sampling band and certified stopping (see
+    :func:`estimate_tv_convergence`).
     """
     dynamics = LogitDynamics(game, beta)
     if not isinstance(game, PotentialGame):
@@ -309,6 +365,7 @@ def estimate_mixing_time_ensemble(
         check_every=check_every,
         rng=rng,
         mode=mode,
+        alpha=alpha,
     )
 
 

@@ -13,9 +13,14 @@ for the full contract):
   (:class:`~repro.engine.kernels.SequentialKernel`, the paper's dynamics),
   every player simultaneously
   (:class:`~repro.engine.kernels.ParallelKernel`), a cyclic cursor
-  (:class:`~repro.engine.kernels.RoundRobinKernel`), or a sequential mover
+  (:class:`~repro.engine.kernels.RoundRobinKernel`), a sequential mover
   under a time-varying ``beta_t`` schedule
-  (:class:`~repro.engine.kernels.AnnealedKernel`);
+  (:class:`~repro.engine.kernels.AnnealedKernel`), or a sequential mover
+  with one independent random stream per replica
+  (:class:`~repro.engine.kernels.SeededSequentialKernel` — the
+  chunk-size-invariant sampling mode behind the adaptive estimators,
+  see :meth:`EnsembleSimulator.seeded
+  <repro.engine.ensemble.EnsembleSimulator.seeded>`);
 * a **rule** supplies the mover's move distribution — the logit softmax
   (:class:`~repro.core.logit.LogitDynamics` and every variant class) or the
   uniform-over-argmax best response
@@ -44,6 +49,7 @@ from .kernels import (
     AnnealedKernel,
     ParallelKernel,
     RoundRobinKernel,
+    SeededSequentialKernel,
     SequentialKernel,
     UpdateKernel,
 )
@@ -57,6 +63,7 @@ __all__ = [
     "MatrixState",
     "UpdateKernel",
     "SequentialKernel",
+    "SeededSequentialKernel",
     "ParallelKernel",
     "RoundRobinKernel",
     "AnnealedKernel",

@@ -57,7 +57,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..games.space import DENSE_PROFILE_CAP
-from .kernels import SequentialKernel, UpdateKernel
+from .kernels import SeededSequentialKernel, SequentialKernel, UpdateKernel
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 from .state import EngineState, IndexState, MatrixState
 
@@ -201,6 +201,40 @@ class EnsembleSimulator:
         ):
             self._rowwise_rule_at = rule.update_distribution_rowwise_at
         self.reset(start, start_indices=start_indices)
+
+    @classmethod
+    def seeded(
+        cls,
+        dynamics,
+        seeds,
+        start: Sequence[int] | np.ndarray | int | None = None,
+        start_indices: np.ndarray | None = None,
+        mode: str = "auto",
+        state: str = "auto",
+        block_size: int = 256,
+    ) -> "EnsembleSimulator":
+        """An ensemble with one independent random stream per replica.
+
+        Builds the simulator around a
+        :class:`~repro.engine.kernels.SeededSequentialKernel`: replica
+        ``r`` draws all of its randomness from ``seeds[r]`` (a
+        :class:`numpy.random.SeedSequence` child, raw int, or pre-built
+        generator), so its trajectory is a pure function of its own seed.
+        This is the chunked/resumable run mode the adaptive estimators
+        use: replica chunks of any size pool into bit-for-bit identical
+        samples, and consecutive ``run`` / first-passage calls continue
+        each stream where the previous call stopped.
+        """
+        seeds = list(seeds)
+        return cls(
+            dynamics,
+            len(seeds),
+            start=start,
+            start_indices=start_indices,
+            mode=mode,
+            state=state,
+            kernel=SeededSequentialKernel(dynamics, seeds, block_size=block_size),
+        )
 
     # -- state ------------------------------------------------------------
 

@@ -71,10 +71,32 @@ import numpy as np
 __all__ = [
     "UpdateKernel",
     "SequentialKernel",
+    "SeededSequentialKernel",
     "ParallelKernel",
     "RoundRobinKernel",
     "AnnealedKernel",
+    "require_sequential_dynamics",
 ]
+
+
+def require_sequential_dynamics(dynamics) -> None:
+    """Refuse dynamics the seeded per-replica streams cannot represent.
+
+    Adaptive chunked estimation wraps a dynamics' *rule* in
+    :class:`SeededSequentialKernel`, i.e. one random mover per step; doing
+    that to a parallel / round-robin / annealed dynamics would silently
+    simulate a different Markov chain.  Every adaptive entry point calls
+    this before building a seeded ensemble.
+    """
+    kernel = dynamics.kernel() if hasattr(dynamics, "kernel") else None
+    if type(kernel) is not SequentialKernel:
+        raise ValueError(
+            f"adaptive (precision=) estimation runs on per-replica seeded "
+            f"streams, which exist only for sequential dynamics; "
+            f"{type(dynamics).__name__} advances via "
+            f"{type(kernel).__name__ if kernel is not None else 'no kernel'} "
+            f"— run it with precision=None and a fixed replica count"
+        )
 
 
 class UpdateKernel(abc.ABC):
@@ -155,6 +177,92 @@ class SequentialKernel(UpdateKernel):
         players = sim.rng.integers(0, sim.space.num_players, size=k)
         uniforms = sim.rng.random(k)
         sim._advance_batch(players, uniforms, where=where)
+
+
+class SeededSequentialKernel(UpdateKernel):
+    """Sequential kernel with one independent random stream *per replica*.
+
+    The standard :class:`SequentialKernel` draws its randomness from the
+    simulator's single generator in ``(steps, R)`` blocks, so the stream a
+    replica sees depends on how many replicas share the ensemble.  That is
+    the right (and fastest) contract for a fixed-size ensemble, but it
+    makes chunked adaptive estimation non-reproducible: pooling 64+64
+    replicas and pooling 128 give different samples.  This kernel instead
+    gives replica ``r`` its own generator seeded from its own
+    :class:`numpy.random.SeedSequence` child, so a replica's trajectory is
+    a pure function of its seed — pooled first-passage samples are
+    bit-for-bit identical no matter how the replica budget is chunked,
+    which is the contract :func:`repro.stats.adaptive.run_until_width`
+    builds on.
+
+    Per replica, randomness is consumed in blocks of ``block_size`` steps
+    (a players block, then a uniforms block, drawn with two vectorised
+    generator calls); ``block_size`` is part of the stream definition, like
+    the seed.  Every replica carries its own consumption cursor: blocks are
+    refilled lazily, per replica, exactly when that replica has used its
+    current block up, so a replica that hits its target early simply stops
+    consuming its stream — first-passage retirement can neither perturb
+    the other replicas nor desync the retired one.  Consecutive
+    :meth:`~repro.engine.ensemble.EnsembleSimulator.run` / first-passage
+    calls therefore continue every stream exactly where that replica
+    stopped, even when the calls advanced different subsets of replicas,
+    which is what makes seeded ensembles resumable.
+
+    ``seeds`` may be ``SeedSequence`` instances (or raw ints) — then a
+    reset replays the streams from scratch — or pre-built ``Generator``
+    objects, which are adopted as-is and *continue* (not replay) across
+    resets; the latter lets a caller draw per-replica start states from the
+    same streams before handing them to the kernel.
+    """
+
+    def __init__(self, rule, seeds, block_size: int = 256):
+        super().__init__(rule)
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = int(block_size)
+        self.seeds = list(seeds)
+        if not self.seeds:
+            raise ValueError("need one seed (or generator) per replica")
+
+    def _generators(self) -> list[np.random.Generator]:
+        return [
+            s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
+            for s in self.seeds
+        ]
+
+    def init_state(self, sim) -> dict:
+        if len(self.seeds) != sim.num_replicas:
+            raise ValueError(
+                f"kernel carries {len(self.seeds)} per-replica streams but the "
+                f"simulator has {sim.num_replicas} replicas"
+            )
+        R = sim.num_replicas
+        return {
+            "generators": self._generators(),
+            # per-replica draws consumed / first draw of the current block;
+            # -block_size forces a refill on each replica's first step
+            "consumed": np.zeros(R, dtype=np.int64),
+            "block_start": np.full(R, -self.block_size, dtype=np.int64),
+            "players": np.empty((R, self.block_size), dtype=np.int64),
+            "uniforms": np.empty((R, self.block_size), dtype=float),
+        }
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        state = sim.kernel_state
+        B = self.block_size
+        n = sim.space.num_players
+        sel = np.arange(sim.num_replicas) if where is None else where
+        exhausted = sel[state["consumed"][sel] - state["block_start"][sel] >= B]
+        for r in exhausted:
+            g = state["generators"][r]
+            state["players"][r] = g.integers(0, n, size=B)
+            state["uniforms"][r] = g.random(B)
+            state["block_start"][r] = state["consumed"][r]
+        off = state["consumed"][sel] - state["block_start"][sel]
+        players = state["players"][sel, off]
+        uniforms = state["uniforms"][sel, off]
+        sim._advance_batch(players, uniforms, where=where)
+        state["consumed"][sel] += 1
 
 
 class ParallelKernel(UpdateKernel):

@@ -1,0 +1,34 @@
+"""Anytime-valid streaming statistics for every Monte-Carlo estimator.
+
+The subsystem behind the ``precision=`` / ``alpha=`` knobs of the package's
+Monte-Carlo entry points: confidence sequences whose coverage survives
+peeking after every replica chunk (:mod:`repro.stats.confseq`), streaming
+moment accumulators and the interval-carrying
+:class:`~repro.stats.accumulators.StreamingEstimate` result type
+(:mod:`repro.stats.accumulators`), and the chunked adaptive-stopping driver
+:func:`~repro.stats.adaptive.run_until_width` built on the
+``SeedSequence.spawn`` discipline (:mod:`repro.stats.adaptive`).
+"""
+
+from .accumulators import StreamingEstimate, StreamingMoments
+from .adaptive import run_until_width
+from .confseq import (
+    EmpiricalBernsteinCS,
+    HedgedBettingCS,
+    NormalMixtureCS,
+    checkpoint_alpha,
+    fixed_n_clt_interval,
+    tv_distance_band,
+)
+
+__all__ = [
+    "EmpiricalBernsteinCS",
+    "HedgedBettingCS",
+    "NormalMixtureCS",
+    "StreamingEstimate",
+    "StreamingMoments",
+    "checkpoint_alpha",
+    "fixed_n_clt_interval",
+    "run_until_width",
+    "tv_distance_band",
+]
