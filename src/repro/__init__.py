@@ -21,7 +21,12 @@ Persiano — SPAA 2011 / arXiv:1212.1884).  The package provides:
 * :mod:`repro.stats` — anytime-valid streaming statistics: confidence
   sequences that survive peeking after every replica chunk, Welford
   accumulators, and the chunked adaptive-stopping driver behind every
-  ``precision=`` / ``alpha=`` knob in the Monte-Carlo estimators.
+  ``precision=`` / ``alpha=`` knob in the Monte-Carlo estimators;
+* :mod:`repro.parallel` — sharded multi-process execution
+  (:class:`~repro.parallel.ShardedExecutor`, bit-for-bit invariant to the
+  shard count) and the resumable content-addressed experiment store
+  (:class:`~repro.parallel.ExperimentStore`) behind the estimators' and
+  sweeps' ``executor=`` / ``store=`` knobs.
 
 Quickstart::
 
@@ -45,6 +50,7 @@ from .analysis import (
     exponential_growth_rate,
     format_interval,
     hitting_time_size_sweep,
+    provenance_summary,
     render_experiment,
     render_table,
     size_sweep,
@@ -129,6 +135,11 @@ from .graphs import (
     cutwidth_of_ordering,
     ring_graph,
 )
+from .parallel import (
+    ExperimentStore,
+    ShardedExecutor,
+    canonical_key,
+)
 from .markov import (
     MarkovChain,
     bottleneck_ratio,
@@ -162,6 +173,7 @@ __all__ = [
     "exponential_growth_rate",
     "format_interval",
     "hitting_time_size_sweep",
+    "provenance_summary",
     "render_experiment",
     "render_table",
     "size_sweep",
@@ -241,6 +253,10 @@ __all__ = [
     "cutwidth_known",
     "cutwidth_of_ordering",
     "ring_graph",
+    # parallel
+    "ExperimentStore",
+    "ShardedExecutor",
+    "canonical_key",
     # markov
     "MarkovChain",
     "bottleneck_ratio",

@@ -10,7 +10,13 @@ from .welfare import (
     welfare_vs_beta,
     worst_equilibrium_welfare,
 )
-from .report import format_interval, format_value, render_experiment, render_table
+from .report import (
+    format_interval,
+    format_value,
+    provenance_summary,
+    render_experiment,
+    render_table,
+)
 from .sweep import (
     SweepRecord,
     SweepResult,
@@ -33,6 +39,7 @@ __all__ = [
     "worst_equilibrium_welfare",
     "format_interval",
     "format_value",
+    "provenance_summary",
     "render_experiment",
     "render_table",
     "SweepRecord",

@@ -15,7 +15,35 @@ import numpy as np
 
 from ..stats.accumulators import StreamingEstimate
 
-__all__ = ["format_value", "format_interval", "render_table", "render_experiment"]
+__all__ = [
+    "format_value",
+    "format_interval",
+    "provenance_summary",
+    "render_table",
+    "render_experiment",
+]
+
+
+def provenance_summary(result) -> str | None:
+    """One-line provenance note for a store-backed sweep, or ``None``.
+
+    Sweeps run with ``store=`` tag every record's ``extra`` with
+    ``provenance`` — ``"store"`` for cells loaded from the experiment
+    store, ``"computed"`` for cells simulated in this run.  This renders
+    the tally as a notes line for :func:`render_experiment`, so report
+    tables state how much of the grid was actually re-simulated; sweeps
+    run without a store (no provenance tags) return ``None``.
+    """
+    tags = [r.extra.get("provenance") for r in result.records]
+    tags = [t for t in tags if t is not None]
+    if not tags:
+        return None
+    loaded = sum(1 for t in tags if t == "store")
+    computed = len(tags) - loaded
+    return (
+        f"{loaded} of {len(tags)} cells loaded from the experiment store, "
+        f"{computed} computed this run."
+    )
 
 
 def format_interval(

@@ -12,6 +12,7 @@ well as sandwich inequalities.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -24,6 +25,8 @@ from ..core.mixing import (
     measure_relaxation_time,
 )
 from ..games.base import Game
+from ..parallel.sharding import claim_executor
+from ..parallel.store import as_store, describe
 from ..stats.confseq import NormalMixtureCS
 
 __all__ = [
@@ -36,6 +39,125 @@ __all__ = [
     "size_sweep",
     "exponential_growth_rate",
 ]
+
+
+def _require_store_seed(store, seed) -> None:
+    """A stored cell must be a pure function of its spec — which needs a seed.
+
+    Without an explicit master seed the cell's randomness is drawn from
+    process entropy, so the content address would collide across runs that
+    drew different samples; refuse rather than silently cache one draw.
+    """
+    if store is not None and seed is None:
+        raise ValueError(
+            "store= caches cells under a content address of their spec, "
+            "which must pin the randomness: pass seed= (an int or "
+            "SeedSequence) so every cell is a pure function of its spec"
+        )
+
+
+def _require_executor_seed(executor, seed) -> None:
+    """Sweep-level sharding is reproducible-by-construction — enforce it.
+
+    The sharded drivers are seeded by per-cell master-seed children; a
+    sweep run with ``executor=`` but no ``seed=`` would draw fresh
+    entropy per cell, making the run irreproducible and (in the family
+    sweep) colliding with the legacy shared-``rng`` plumbing.  Direct
+    estimator calls may still run seedless; sweeps must not.
+    """
+    if executor is not None and seed is None:
+        raise ValueError(
+            "sweep-level executor= runs every cell on seeded per-replica "
+            "streams; pass seed= (an int or SeedSequence) so the sharded "
+            "sweep is reproducible"
+        )
+
+
+def _described_factories(store_tag: str | None, **factories) -> object:
+    """Spec component naming the sweep's callables (or the explicit tag).
+
+    ``store_tag`` short-circuits the description — the escape hatch for
+    lambdas and closures, which have no run-to-run-stable name; the caller
+    then owns uniqueness of the tag per (game family, factory bundle).
+    """
+    if store_tag is not None:
+        return {"store_tag": str(store_tag)}
+    return {
+        name: (describe(fn) if fn is not None else None)
+        for name, fn in factories.items()
+    }
+
+
+def _named_seed_children(
+    root: np.random.SeedSequence, name: str, count: int
+) -> list[np.random.SeedSequence]:
+    """Per-name deterministic seed children, independent of sweep position.
+
+    The family sweeps key their cells by *name*, so the randomness must
+    follow the name too — otherwise reordering the families would hand
+    every family a different seed and silently invalidate its cached
+    cell.  The name is hashed into four ``uint32`` spawn-key words
+    appended to the root's spawn key, giving a ``SeedSequence`` child
+    that depends only on (master seed, name); its first ``count`` spawned
+    children are returned.
+    """
+    digest = hashlib.sha256(str(name).encode("utf-8")).digest()
+    words = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + words
+    )
+    return child.spawn(count)
+
+
+def _cached_record(store, spec) -> SweepRecord | None:
+    """Rebuild a :class:`SweepRecord` from a stored cell, or ``None`` on miss.
+
+    The cached cell carries everything but provenance; the rebuilt record
+    is tagged ``extra["provenance"] = "store"`` so report tables show
+    which cells were loaded rather than computed.
+    """
+    if store is None:
+        return None
+    cell = store.get(spec)
+    if cell is None:
+        return None
+    extra = dict(cell.get("extra", {}))
+    extra["provenance"] = "store"
+    return SweepRecord(
+        parameter=float(cell["parameter"]),
+        mixing_time=float(cell.get("mixing_time", float("nan"))),
+        relaxation_time=float(cell.get("relaxation_time", float("nan"))),
+        extra=extra,
+    )
+
+
+def _store_record(store, spec, record: SweepRecord) -> SweepRecord:
+    """Persist a freshly computed cell; returns it tagged as computed.
+
+    Cells are written the moment they complete, so a sweep killed
+    mid-grid resumes from its last completed cell on the next run.
+    """
+    if store is None:
+        return record
+    store.put(
+        spec,
+        {
+            "parameter": record.parameter,
+            "mixing_time": record.mixing_time,
+            "relaxation_time": record.relaxation_time,
+            "extra": dict(record.extra),
+        },
+    )
+    extra = dict(record.extra)
+    extra["provenance"] = "computed"
+    return SweepRecord(
+        parameter=record.parameter,
+        mixing_time=record.mixing_time,
+        relaxation_time=record.relaxation_time,
+        extra=extra,
+    )
 
 
 @dataclass(frozen=True)
@@ -112,6 +234,10 @@ def ensemble_beta_sweep(
     rng: np.random.Generator | None = None,
     extra: Callable[[Game, float], dict] | None = None,
     alpha: float | None = None,
+    seed: int | np.random.SeedSequence | None = None,
+    executor=None,
+    store=None,
+    store_tag: str | None = None,
 ) -> SweepResult:
     """Sampled mixing-time sweep via the batched replica ensemble.
 
@@ -126,37 +252,99 @@ def ensemble_beta_sweep(
     of the anytime-valid TV sampling band at the stopping checkpoint
     (certified stopping; see
     :func:`~repro.core.mixing.estimate_tv_convergence`).
+
+    ``seed`` makes the whole sweep reproducible (one spawned master-seed
+    child per grid point; mutually exclusive with ``rng``), ``executor``
+    runs every grid point on the sharded multi-process TV driver
+    (shard-count-invariant results; see
+    :func:`~repro.core.mixing.estimate_tv_convergence`), and ``store``
+    (an :class:`~repro.parallel.ExperimentStore` or a directory path)
+    caches each grid point under a content address of its spec — cells
+    already in the store are loaded instead of re-simulated (their
+    ``extra`` carries ``provenance = "store"``), so a completed sweep
+    re-runs for free and a killed sweep resumes from its last completed
+    cell.  ``store`` requires ``seed``.  The game identifies itself in
+    the spec by content (``store_spec()``); ``store_tag`` *adds* a
+    caller-owned label to the spec and replaces the ``extra`` callable's
+    description when it has no stable name (a lambda) — it never
+    replaces the game identity, so reusing a tag across games cannot
+    collide their caches.
     """
+    if seed is not None and rng is not None:
+        raise ValueError("pass seed= or rng=, not both")
+    store = as_store(store)
+    _require_store_seed(store, seed)
+    _require_executor_seed(executor, seed)
+    executor, owned_executor = claim_executor(executor)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence) or seed is None
+        else np.random.SeedSequence(seed)
+    )
     records = []
-    for beta in betas:
-        beta = float(beta)
-        estimate = estimate_mixing_time_ensemble(
-            game,
-            beta,
-            num_replicas=num_replicas,
-            epsilon=epsilon,
-            max_time=max_time,
-            rng=rng,
-            alpha=alpha,
-        )
-        extras = {
-            "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
-            "capped": estimate.capped,
-            "converged": estimate.converged,
-        }
-        if estimate.tv_band is not None:
-            extras["tv_lower"] = float(estimate.tv_band[-1, 0])
-            extras["tv_upper"] = float(estimate.tv_band[-1, 1])
-        if extra is not None:
-            extras.update(extra(game, beta))
-        records.append(
-            SweepRecord(
+    try:
+        for beta in betas:
+            beta = float(beta)
+            cell_seed = root.spawn(1)[0] if root is not None else None
+            spec = None
+            if store is not None:
+                spec = {
+                    "sweep": "ensemble_beta_sweep",
+                    "game": describe(game),
+                    "tag": store_tag,
+                    "beta": beta,
+                    "num_replicas": int(num_replicas),
+                    "epsilon": float(epsilon),
+                    "max_time": int(max_time),
+                    "alpha": alpha,
+                    "extra": _described_factories(store_tag, extra=extra),
+                    # serial (one shared generator) and sharded (one stream
+                    # per replica) runs draw different samples from the same
+                    # seed; the contract is part of the cell's identity
+                    "randomness": "sharded" if executor is not None else "serial",
+                    "seed": describe(cell_seed),
+                }
+                cached = _cached_record(store, spec)
+                if cached is not None:
+                    records.append(cached)
+                    continue
+            estimate = estimate_mixing_time_ensemble(
+                game,
+                beta,
+                num_replicas=num_replicas,
+                epsilon=epsilon,
+                max_time=max_time,
+                rng=(
+                    np.random.default_rng(cell_seed)
+                    if cell_seed is not None and executor is None
+                    else rng
+                ),
+                alpha=alpha,
+                executor=executor,
+                seed=cell_seed if executor is not None else None,
+            )
+            extras = {
+                "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
+                "capped": estimate.capped,
+                "converged": estimate.converged,
+            }
+            if estimate.tv_band is not None:
+                extras["tv_lower"] = float(estimate.tv_band[-1, 0])
+                extras["tv_upper"] = float(estimate.tv_band[-1, 1])
+            if extra is not None:
+                extras.update(extra(game, beta))
+            record = SweepRecord(
                 parameter=beta,
                 mixing_time=float(estimate.mixing_time_estimate),
                 relaxation_time=float("nan"),
                 extra=extras,
             )
-        )
+            records.append(
+                _store_record(store, spec, record) if store is not None else record
+            )
+    finally:
+        if owned_executor:
+            executor.close()
     return SweepResult(parameter_name="beta", records=tuple(records))
 
 
@@ -174,6 +362,10 @@ def dynamics_family_sweep(
     max_escape_steps: int = 10**5,
     rng: np.random.Generator | None = None,
     welfare_alpha: float = 0.05,
+    seed: int | np.random.SeedSequence | None = None,
+    executor=None,
+    store=None,
+    store_tag: str | None = None,
 ) -> SweepResult:
     """Compare dynamics families on one game via the batched engine.
 
@@ -208,6 +400,20 @@ def dynamics_family_sweep(
     families with a finite schedule are clamped to their horizon by the
     estimator and the engine's first-passage machinery, so running out of
     schedule is likewise reported as ``capped``, not raised.
+
+    ``seed`` makes the sweep reproducible — every family gets its own
+    spawned master-seed children (one for the TV measurement, one for the
+    escape ensemble; mutually exclusive with ``rng``).  ``executor`` runs
+    each family's TV measurement on the sharded multi-process driver
+    (sequential families only — the per-replica-stream contract; see
+    :func:`~repro.core.mixing.estimate_tv_convergence`).  ``store`` caches
+    each family's cell under a content address of (game, family *name*,
+    parameters, seed): the name — the mapping key — identifies the
+    factory in the spec, so renaming a family recomputes it while
+    reordering families does not.  ``store`` requires ``seed``.  The game
+    identifies itself by content (``store_spec()``); ``store_tag`` *adds*
+    a caller-owned label to every cell spec (useful to disambiguate games
+    without a ``store_spec``) — it never replaces the game identity.
     """
     if isinstance(dynamics_factories, Mapping):
         entries = list(dynamics_factories.items())
@@ -215,69 +421,137 @@ def dynamics_family_sweep(
         entries = list(dynamics_factories)
     if not entries:
         raise ValueError("need at least one dynamics factory to sweep")
-    rng = np.random.default_rng() if rng is None else rng
+    if seed is not None and rng is not None:
+        raise ValueError("pass seed= or rng=, not both")
+    store = as_store(store)
+    _require_store_seed(store, seed)
+    _require_executor_seed(executor, seed)
+    executor, owned_executor = claim_executor(executor)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence) or seed is None
+        else np.random.SeedSequence(seed)
+    )
+    rng = np.random.default_rng() if rng is None and root is None else rng
     records = []
-    for position, (name, factory) in enumerate(entries):
-        dynamics = factory(game)
-        if reference is None:
-            if not hasattr(dynamics, "stationary_distribution"):
-                raise ValueError(
-                    f"dynamics family {name!r} exposes no stationary_"
-                    f"distribution(); pass an explicit reference distribution"
+    try:
+        for position, (name, factory) in enumerate(entries):
+            tv_seed, escape_seed = (
+                _named_seed_children(root, name, 2)
+                if root is not None
+                else (None, None)
+            )
+            spec = None
+            if store is not None:
+                spec = {
+                    "sweep": "dynamics_family_sweep",
+                    "game": describe(game),
+                    "tag": store_tag,
+                    "family": str(name),
+                    "reference": describe(
+                        None if reference is None else np.asarray(reference, dtype=float)
+                    ),
+                    "num_replicas": int(num_replicas),
+                    "epsilon": float(epsilon),
+                    "max_time": int(max_time),
+                    "check_every": check_every,
+                    "start": describe(start),
+                    "escape_states": describe(
+                        None
+                        if escape_states is None
+                        else np.asarray(escape_states, dtype=np.int64)
+                    ),
+                    "max_escape_steps": int(max_escape_steps),
+                    "welfare_alpha": float(welfare_alpha),
+                    # serial and sharded TV drivers draw different samples
+                    # from the same seed; the contract is part of the spec
+                    "randomness": "sharded" if executor is not None else "serial",
+                    "seed": [describe(tv_seed), describe(escape_seed)],
+                }
+                cached = _cached_record(store, spec)
+                if cached is not None:
+                    # parameter is the *current* position in the sweep order,
+                    # not whatever position the cell was computed at
+                    records.append(
+                        SweepRecord(
+                            parameter=float(position),
+                            mixing_time=cached.mixing_time,
+                            relaxation_time=cached.relaxation_time,
+                            extra=cached.extra,
+                        )
+                    )
+                    continue
+            dynamics = factory(game)
+            if reference is None:
+                if not hasattr(dynamics, "stationary_distribution"):
+                    raise ValueError(
+                        f"dynamics family {name!r} exposes no stationary_"
+                        f"distribution(); pass an explicit reference distribution"
+                    )
+                target = np.asarray(dynamics.stationary_distribution(), dtype=float)
+            else:
+                target = np.asarray(reference, dtype=float)
+            estimate = estimate_tv_convergence(
+                dynamics,
+                target,
+                num_replicas=num_replicas,
+                epsilon=epsilon,
+                start=start,
+                max_time=max_time,
+                check_every=check_every,
+                rng=(
+                    np.random.default_rng(tv_seed)
+                    if tv_seed is not None and executor is None
+                    else rng
+                ),
+                executor=executor,
+                seed=tv_seed if executor is not None else None,
+            )
+            # utilitarian welfare of the settled ensemble: one batched
+            # all-player utility gather over the final replica states, with a
+            # CLT-style confidence interval for the mean (one-shot evaluation
+            # of the time-uniform boundary — conservative, never invalid)
+            welfare_samples = game.utility_profile_many(
+                estimate.final_indices
+            ).sum(axis=1)
+            welfare_cs = NormalMixtureCS(alpha=welfare_alpha)
+            welfare_cs.update(welfare_samples)
+            welfare_lower, welfare_upper = welfare_cs.interval()
+            extras: dict = {
+                "dynamics": name,
+                "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
+                "capped": estimate.capped,
+                "converged": estimate.converged,
+                "mean_welfare": float(welfare_samples.mean()),
+                "welfare_lower": float(welfare_lower),
+                "welfare_upper": float(welfare_upper),
+            }
+            if escape_states is not None:
+                well = np.unique(np.asarray(escape_states, dtype=np.int64))
+                escape_rng = (
+                    np.random.default_rng(escape_seed) if escape_seed is not None else rng
                 )
-            target = np.asarray(dynamics.stationary_distribution(), dtype=float)
-        else:
-            target = np.asarray(reference, dtype=float)
-        estimate = estimate_tv_convergence(
-            dynamics,
-            target,
-            num_replicas=num_replicas,
-            epsilon=epsilon,
-            start=start,
-            max_time=max_time,
-            check_every=check_every,
-            rng=rng,
-        )
-        # utilitarian welfare of the settled ensemble: one batched
-        # all-player utility gather over the final replica states, with a
-        # CLT-style confidence interval for the mean (one-shot evaluation
-        # of the time-uniform boundary — conservative, never invalid)
-        welfare_samples = game.utility_profile_many(
-            estimate.final_indices
-        ).sum(axis=1)
-        welfare_cs = NormalMixtureCS(alpha=welfare_alpha)
-        welfare_cs.update(welfare_samples)
-        welfare_lower, welfare_upper = welfare_cs.interval()
-        extras: dict = {
-            "dynamics": name,
-            "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
-            "capped": estimate.capped,
-            "converged": estimate.converged,
-            "mean_welfare": float(welfare_samples.mean()),
-            "welfare_lower": float(welfare_lower),
-            "welfare_upper": float(welfare_upper),
-        }
-        if escape_states is not None:
-            well = np.unique(np.asarray(escape_states, dtype=np.int64))
-            sim = dynamics.ensemble(
-                num_replicas,
-                start_indices=rng.choice(well, size=num_replicas),
-                rng=rng,
-            )
-            times = sim.exit_times(well, max_steps=max_escape_steps)
-            escaped = times[times >= 0]
-            extras["escape_fraction"] = float(escaped.size / times.size)
-            extras["mean_escape_time"] = (
-                float(escaped.mean()) if escaped.size else float("nan")
-            )
-        records.append(
-            SweepRecord(
+                sim = dynamics.ensemble(
+                    num_replicas,
+                    start_indices=escape_rng.choice(well, size=num_replicas),
+                    rng=escape_rng,
+                )
+                times = sim.exit_times(well, max_steps=max_escape_steps)
+                escaped = times[times >= 0]
+                extras["escape_fraction"] = float(escaped.size / times.size)
+                extras["mean_escape_time"] = (
+                    float(escaped.mean()) if escaped.size else float("nan")
+                )
+            record = SweepRecord(
                 parameter=float(position),
                 mixing_time=float(estimate.mixing_time_estimate),
                 relaxation_time=float("nan"),
                 extra=extras,
             )
-        )
+            records.append(_store_record(store, spec, record) if store is not None else record)
+    finally:
+        if owned_executor:
+            executor.close()
     return SweepResult(parameter_name="dynamics_family", records=tuple(records))
 
 
@@ -323,6 +597,9 @@ def hitting_time_size_sweep(
     seed: int | np.random.SeedSequence | None = None,
     chunk_size: int = 64,
     max_replicas: int = 4096,
+    executor=None,
+    store=None,
+    store_tag: str | None = None,
 ) -> SweepResult:
     """Monte-Carlo hitting-time scaling over system size, fully index-free.
 
@@ -361,8 +638,38 @@ def hitting_time_size_sweep(
     truncated mean is identical).  Grid points are seeded from one master
     ``seed`` (a spawned child per size), so the whole sweep is
     reproducible end to end.
+
+    ``executor`` (adaptive mode only) shards every grid point's replica
+    chunks across processes via :class:`repro.parallel.ShardedExecutor`;
+    pooled samples per cell are bit-for-bit identical to the serial run
+    for any shard count.  ``store`` (an
+    :class:`~repro.parallel.ExperimentStore` or directory path; adaptive
+    mode with an explicit ``seed`` only) caches every grid point under a
+    content address of its spec: cells found in the store are loaded with
+    zero ensemble steps (``extra["provenance"] = "store"``) and cells are
+    written the moment they complete, so a killed sweep resumes from its
+    last completed cell.  The spec names the factories by
+    ``module.qualname``; for lambdas pass ``store_tag=`` — a caller-owned
+    stable name for the (game, start, target, dynamics) factory bundle.
     """
     rng = np.random.default_rng() if rng is None else rng
+    store = as_store(store)
+    if store is not None and precision is None:
+        raise ValueError(
+            "store= caches adaptive (precision=) cells, which are pure "
+            "functions of their spec; the fixed-replica path draws from a "
+            "shared rng stream and cannot be cached coherently — pass "
+            "precision= (and seed=)"
+        )
+    if executor is not None and precision is None:
+        raise ValueError(
+            "executor= shards the adaptive (precision=) chunk sampler; the "
+            "fixed-replica path runs one shared-rng ensemble per size and "
+            "cannot be sharded — pass precision="
+        )
+    _require_store_seed(store, seed)
+    _require_executor_seed(executor, seed)
+    executor, owned_executor = claim_executor(executor)
     records = []
     if precision is not None:
         root = (
@@ -370,34 +677,63 @@ def hitting_time_size_sweep(
             if isinstance(seed, np.random.SeedSequence)
             else np.random.SeedSequence(seed)
         )
-    for n in sizes:
-        game = game_factory(int(n))
-        if dynamics_factory is None:
-            from ..core.logit import LogitDynamics
+    try:
+        for n in sizes:
+            if precision is not None:
+                # spawned unconditionally — cache hits must not shift the
+                # seeds of the cells that still need computing
+                cell_seed = root.spawn(1)[0]
+                spec = None
+                if store is not None:
+                    spec = {
+                        "sweep": "hitting_time_size_sweep",
+                        "factories": _described_factories(
+                            store_tag,
+                            game_factory=game_factory,
+                            start_factory=start_factory,
+                            target_factory=target_factory,
+                            dynamics_factory=dynamics_factory,
+                        ),
+                        "n": int(n),
+                        "beta": float(beta),
+                        "max_steps": int(max_steps),
+                        "precision": float(precision),
+                        "alpha": float(alpha),
+                        "chunk_size": int(chunk_size),
+                        "max_replicas": int(max_replicas),
+                        "seed": describe(cell_seed),
+                    }
+                    cached = _cached_record(store, spec)
+                    if cached is not None:
+                        records.append(cached)
+                        continue
+            game = game_factory(int(n))
+            if dynamics_factory is None:
+                from ..core.logit import LogitDynamics
 
-            dynamics = LogitDynamics(game, float(beta))
-        else:
-            dynamics = dynamics_factory(game, float(beta))
-        if precision is not None:
-            from ..core.metastability import empirical_hitting_times
+                dynamics = LogitDynamics(game, float(beta))
+            else:
+                dynamics = dynamics_factory(game, float(beta))
+            if precision is not None:
+                from ..core.metastability import empirical_hitting_times
 
-            estimate = empirical_hitting_times(
-                game,
-                float(beta),
-                np.asarray(start_factory(game)),
-                target_factory(game),
-                max_steps=max_steps,
-                dynamics=dynamics,
-                precision=precision,
-                alpha=alpha,
-                chunk_size=chunk_size,
-                max_replicas=max_replicas,
-                seed=root.spawn(1)[0],
-                keep_samples=True,
-            )
-            times = estimate.samples
-            records.append(
-                SweepRecord(
+                estimate = empirical_hitting_times(
+                    game,
+                    float(beta),
+                    np.asarray(start_factory(game)),
+                    target_factory(game),
+                    max_steps=max_steps,
+                    dynamics=dynamics,
+                    precision=precision,
+                    alpha=alpha,
+                    chunk_size=chunk_size,
+                    max_replicas=max_replicas,
+                    seed=cell_seed,
+                    keep_samples=True,
+                    executor=executor,
+                )
+                times = estimate.samples
+                record = SweepRecord(
                     parameter=float(n),
                     mixing_time=float("nan"),
                     relaxation_time=float("nan"),
@@ -412,29 +748,34 @@ def hitting_time_size_sweep(
                         ),
                     },
                 )
+                records.append(
+                    _store_record(store, spec, record) if store is not None else record
+                )
+                continue
+            sim = dynamics.ensemble(
+                num_replicas, start=np.asarray(start_factory(game)), rng=rng
             )
-            continue
-        sim = dynamics.ensemble(
-            num_replicas, start=np.asarray(start_factory(game)), rng=rng
-        )
-        times = sim.hitting_times(target_factory(game), max_steps=max_steps)
-        reached = times[times >= 0]
-        records.append(
-            SweepRecord(
-                parameter=float(n),
-                mixing_time=float("nan"),
-                relaxation_time=float("nan"),
-                extra={
-                    "mean_hitting_time": (
-                        float(reached.mean()) if reached.size else float("nan")
-                    ),
-                    "median_hitting_time": (
-                        float(np.median(reached)) if reached.size else float("nan")
-                    ),
-                    "reached_fraction": float(reached.size / times.size),
-                },
+            times = sim.hitting_times(target_factory(game), max_steps=max_steps)
+            reached = times[times >= 0]
+            records.append(
+                SweepRecord(
+                    parameter=float(n),
+                    mixing_time=float("nan"),
+                    relaxation_time=float("nan"),
+                    extra={
+                        "mean_hitting_time": (
+                            float(reached.mean()) if reached.size else float("nan")
+                        ),
+                        "median_hitting_time": (
+                            float(np.median(reached)) if reached.size else float("nan")
+                        ),
+                        "reached_fraction": float(reached.size / times.size),
+                    },
+                )
             )
-        )
+    finally:
+        if owned_executor:
+            executor.close()
     return SweepResult(parameter_name="n", records=tuple(records))
 
 

@@ -20,6 +20,7 @@ evaluation axis as well:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -77,6 +78,30 @@ def welfare_of_profiles(game: Game, profiles: np.ndarray) -> np.ndarray:
     return welfare
 
 
+@dataclass
+class _BurnInWelfareSampler:
+    """Picklable chunk sampler: welfare of seeded replicas after burn-in.
+
+    Module-level (process-backend picklable) payload of
+    :func:`estimate_stationary_welfare`: each seed child drives one
+    replica for ``num_steps`` steps and contributes the utilitarian
+    welfare of its final profile — index-based below the int64 ceiling,
+    :func:`welfare_of_profiles` beyond it.
+    """
+
+    game: Game
+    dynamics: object
+    start: object
+    num_steps: int
+
+    def __call__(self, children) -> np.ndarray:
+        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start)
+        sim.run(self.num_steps)
+        if self.game.space.fits_int64:
+            return self.game.utility_profile_many(sim.indices).sum(axis=1)
+        return welfare_of_profiles(self.game, sim.profiles)
+
+
 def estimate_stationary_welfare(
     game: Game,
     beta: float,
@@ -90,6 +115,7 @@ def estimate_stationary_welfare(
     start: Sequence[int] | np.ndarray | int | None = None,
     dynamics=None,
     support: tuple[float, float] | str | None = "auto",
+    executor=None,
 ) -> StreamingEstimate:
     """Sampled ``E[W(X_T)]`` with an anytime-valid confidence interval.
 
@@ -119,6 +145,11 @@ def estimate_stationary_welfare(
     advanced one random mover per step); parallel / round-robin / annealed
     overrides are rejected rather than silently simulated as a different
     chain.
+
+    ``executor`` (``"serial"``, ``"process"``, or a
+    :class:`repro.parallel.ShardedExecutor`) shards every replica chunk
+    across processes; pooled welfare samples are bit-for-bit identical to
+    the serial run for any shard count.
     """
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
@@ -145,25 +176,19 @@ def estimate_stationary_welfare(
             target_width=precision,
         )
 
-    def make_chunk(children):
-        sim = EnsembleSimulator.seeded(dynamics, children, start=start)
-        sim.run(num_steps)
-        if game.space.fits_int64:
-            return game.utility_profile_many(sim.indices).sum(axis=1)
-        return welfare_of_profiles(game, sim.profiles)
-
     if support is not None:
         cs = EmpiricalBernsteinCS(alpha=alpha, support=support)
     else:
         cs = NormalMixtureCS(alpha=alpha)
     return run_until_width(
-        make_chunk,
+        _BurnInWelfareSampler(game, dynamics, start, int(num_steps)),
         target_width=float(precision) if precision is not None else 0.0,
         alpha=alpha,
         max_n=max_replicas if precision is not None else num_replicas,
         chunk_size=chunk_size,
         seed=seed,
         cs=cs,
+        executor=executor,
     )
 
 

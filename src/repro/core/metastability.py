@@ -27,6 +27,7 @@ that picture quantitative:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -186,8 +187,105 @@ def _reject_fixed_mode_arguments(
         )
 
 
+def _reject_executor_without_precision(precision, executor) -> None:
+    """``executor=`` only shards adaptive chunk samplers; refuse elsewhere.
+
+    The fixed-replica path advances one ensemble from a single shared
+    ``rng`` stream, which cannot be split across processes without
+    changing the samples — accepting-and-ignoring the knob would silently
+    run serial.
+    """
+    if precision is None and executor is not None:
+        raise ValueError(
+            "executor= shards the adaptive (precision=) chunk sampler; the "
+            "fixed-replica path runs one shared-rng ensemble and cannot be "
+            "sharded — pass precision= (and seed=) to use an executor"
+        )
+
+
+@dataclass
+class _TruncatedHittingSampler:
+    """Picklable chunk sampler: seeded first-hitting times, horizon-truncated.
+
+    One instance is the whole shard payload — dynamics, shared start and
+    target set travel with it (module-level class, so the process backend
+    of :class:`repro.parallel.ShardedExecutor` can pickle it); ``-1``
+    not-reached entries are truncated to ``max_steps`` so the samples are
+    the bounded estimand ``min(tau, max_steps)``.
+    """
+
+    dynamics: object
+    start: object
+    targets: object
+    max_steps: int
+
+    def __call__(self, children) -> np.ndarray:
+        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start)
+        times = sim.hitting_times(self.targets, max_steps=self.max_steps)
+        return np.where(times < 0, self.max_steps, times).astype(float)
+
+
+@dataclass
+class _TruncatedPredicateEscapeSampler:
+    """Picklable chunk sampler: escape times of a predicate well.
+
+    Every replica starts at the same ``(n,)`` profile (validated to lie
+    inside the well before any step runs) and escapes when the predicate
+    first turns false; times are truncated at the horizon like the
+    hitting sampler's.
+    """
+
+    dynamics: object
+    start_profile: np.ndarray
+    states: object
+    max_steps: int
+
+    def __call__(self, children) -> np.ndarray:
+        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start_profile)
+        _check_start_inside_well(self.states, sim, len(children))
+        times = sim.exit_times(self.states, max_steps=self.max_steps)
+        return np.where(times < 0, self.max_steps, times).astype(float)
+
+
+@dataclass
+class _TruncatedGibbsEscapeSampler:
+    """Picklable chunk sampler: escape times of an index well, Gibbs starts.
+
+    Each replica's start is drawn from the conditional-Gibbs weights using
+    its own stream, then the same stream drives its trajectory — the whole
+    sample is a pure function of the replica's seed child, which is what
+    keeps pooled samples invariant to chunking *and* sharding.
+    """
+
+    dynamics: object
+    well: np.ndarray
+    weights: np.ndarray
+    max_steps: int
+
+    def __call__(self, children) -> np.ndarray:
+        gens = [np.random.default_rng(c) for c in children]
+        starts = self.well[
+            [int(g.choice(self.well.size, p=self.weights)) for g in gens]
+        ]
+        sim = EnsembleSimulator.seeded(self.dynamics, gens, start_indices=starts)
+        times = sim.exit_times(self.well, max_steps=self.max_steps)
+        return np.where(times < 0, self.max_steps, times).astype(float)
+
+
+def _check_start_inside_well(states, sim, count: int) -> None:
+    """Escape times from outside the set would all read 0 — reject early."""
+    inside0 = np.asarray(states(sim.profiles), dtype=bool)
+    if not np.all(inside0):
+        raise ValueError(
+            "start_profiles must lie inside the well: the predicate is "
+            f"False for {int(np.count_nonzero(~inside0))} of "
+            f"{count} replicas at time 0 (escape times from "
+            f"outside the set would all read 0)"
+        )
+
+
 def _adaptive_truncated_times(
-    build_sim,
+    sampler,
     precision: float,
     alpha: float,
     max_steps: int,
@@ -195,27 +293,24 @@ def _adaptive_truncated_times(
     max_replicas: int,
     seed,
     keep_samples: bool,
+    executor=None,
 ) -> StreamingEstimate:
     """Adaptive driver shared by the hitting/escape estimators.
 
-    ``build_sim(children)`` maps spawned SeedSequence children to a seeded
-    ensemble plus its first-passage call; samples are the per-replica first-
-    passage times *truncated at the horizon* (``-1`` not-reached entries
-    count as ``max_steps``), so the estimand is the bounded quantity
-    ``E[min(tau, max_steps)]`` and the empirical-Bernstein CS applies with
-    support ``[0, max_steps]``.  ``precision`` is relative to that support:
-    the driver stops when the interval is at most ``precision * max_steps``
-    wide.
+    ``sampler(children)`` maps spawned SeedSequence children to per-replica
+    first-passage times *truncated at the horizon* (``-1`` not-reached
+    entries count as ``max_steps``), so the estimand is the bounded
+    quantity ``E[min(tau, max_steps)]`` and the empirical-Bernstein CS
+    applies with support ``[0, max_steps]``.  ``precision`` is relative to
+    that support: the driver stops when the interval is at most
+    ``precision * max_steps`` wide.  ``executor`` shards each chunk across
+    processes without changing any sample (see
+    :func:`repro.stats.adaptive.run_until_width`).
     """
     if not 0 < precision:
         raise ValueError("precision must be positive (fraction of max_steps)")
-
-    def make_chunk(children):
-        times = build_sim(children)
-        return np.where(times < 0, max_steps, times).astype(float)
-
     return run_until_width(
-        make_chunk,
+        sampler,
         target_width=float(precision) * float(max_steps),
         alpha=alpha,
         max_n=max_replicas,
@@ -223,6 +318,7 @@ def _adaptive_truncated_times(
         support=(0.0, float(max_steps)),
         seed=seed,
         keep_samples=keep_samples,
+        executor=executor,
     )
 
 
@@ -242,6 +338,7 @@ def empirical_escape_times(
     max_replicas: int = 4096,
     seed: int | np.random.SeedSequence | None = None,
     keep_samples: bool = True,
+    executor=None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -285,9 +382,17 @@ def empirical_escape_times(
     fixed-mode knob together with ``precision`` is an error, not a silent
     ignore.  It needs sequential dynamics, and for a predicate well
     accepts only a single shared ``(n,)`` start profile.
+
+    ``executor`` (adaptive mode only) shards each replica chunk across
+    processes via :class:`repro.parallel.ShardedExecutor` — pooled samples
+    are bit-for-bit identical to the serial run for any shard count, so it
+    is purely a wall-clock knob; the process backend requires the
+    game/dynamics and the well description to be picklable (module-level
+    predicates, not lambdas).
     """
     if precision is not None:
         _reject_fixed_mode_arguments(num_replicas, rng)
+    _reject_executor_without_precision(precision, executor)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     rng = np.random.default_rng() if rng is None else rng
     if dynamics is None:
@@ -307,16 +412,6 @@ def empirical_escape_times(
                 "profiles inside the well)"
             )
 
-        def check_inside(sim, count):
-            inside0 = np.asarray(states(sim.profiles), dtype=bool)
-            if not np.all(inside0):
-                raise ValueError(
-                    "start_profiles must lie inside the well: the predicate is "
-                    f"False for {int(np.count_nonzero(~inside0))} of "
-                    f"{count} replicas at time 0 (escape times from "
-                    f"outside the set would all read 0)"
-                )
-
         if precision is not None:
             profile = np.asarray(start_profiles)
             if profile.ndim != 1:
@@ -325,20 +420,17 @@ def empirical_escape_times(
                     "chunk; per-replica (R, n) start profiles would tie the "
                     "samples to one fixed replica count"
                 )
-
-            def build_sim(children):
-                sim = EnsembleSimulator.seeded(dynamics, children, start=profile)
-                check_inside(sim, len(children))
-                return sim.exit_times(states, max_steps=max_steps)
-
             return _adaptive_truncated_times(
-                build_sim, precision, alpha, max_steps,
-                chunk_size, max_replicas, seed, keep_samples,
+                _TruncatedPredicateEscapeSampler(
+                    dynamics, profile, states, int(max_steps)
+                ),
+                precision, alpha, max_steps,
+                chunk_size, max_replicas, seed, keep_samples, executor,
             )
         sim = dynamics.ensemble(
             num_replicas, start=np.asarray(start_profiles), rng=rng
         )
-        check_inside(sim, num_replicas)
+        _check_start_inside_well(states, sim, num_replicas)
         return sim.exit_times(states, max_steps=max_steps)
     if start_profiles is not None:
         raise ValueError("start_profiles is only for predicate wells; use "
@@ -355,19 +447,10 @@ def empirical_escape_times(
             raise ValueError("start_distribution must have positive mass")
         weights = weights / total
     if precision is not None:
-
-        def build_sim(children):
-            # each replica's start is drawn from its own stream, then the
-            # same stream drives its trajectory — the whole sample is a
-            # pure function of the replica's seed
-            gens = [np.random.default_rng(c) for c in children]
-            starts = idx[[int(g.choice(idx.size, p=weights)) for g in gens]]
-            sim = EnsembleSimulator.seeded(dynamics, gens, start_indices=starts)
-            return sim.exit_times(idx, max_steps=max_steps)
-
         return _adaptive_truncated_times(
-            build_sim, precision, alpha, max_steps,
-            chunk_size, max_replicas, seed, keep_samples,
+            _TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps)),
+            precision, alpha, max_steps,
+            chunk_size, max_replicas, seed, keep_samples, executor,
         )
     starts = rng.choice(idx, size=num_replicas, p=weights)
     sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
@@ -389,6 +472,7 @@ def empirical_hitting_times(
     max_replicas: int = 4096,
     seed: int | np.random.SeedSequence | None = None,
     keep_samples: bool = True,
+    executor=None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
@@ -414,10 +498,13 @@ def empirical_hitting_times(
     :class:`~repro.stats.accumulators.StreamingEstimate` whose interval is
     at most ``precision * max_steps`` wide when ``stopped_early`` is true.
     With ``precision=None`` the legacy fixed-replica sample array is
-    returned unchanged.
+    returned unchanged.  ``executor`` shards the adaptive chunks across
+    processes without changing any sample (see
+    :func:`empirical_escape_times`).
     """
     if precision is not None:
         _reject_fixed_mode_arguments(num_replicas, rng)
+    _reject_executor_without_precision(precision, executor)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
@@ -434,13 +521,10 @@ def empirical_hitting_times(
                 "tie the samples to one fixed replica count"
             )
 
-        def build_sim(children):
-            sim = EnsembleSimulator.seeded(dynamics, children, start=start_state)
-            return sim.hitting_times(targets, max_steps=max_steps)
-
         return _adaptive_truncated_times(
-            build_sim, precision, alpha, max_steps,
-            chunk_size, max_replicas, seed, keep_samples,
+            _TruncatedHittingSampler(dynamics, start_state, targets, int(max_steps)),
+            precision, alpha, max_steps,
+            chunk_size, max_replicas, seed, keep_samples, executor,
         )
     sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng)
     return sim.hitting_times(targets, max_steps=max_steps)

@@ -23,12 +23,15 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.ensemble import EnsembleSimulator
+from ..engine.kernels import SeededSequentialKernel, require_sequential_dynamics
 from ..games.base import Game
 from ..games.potential import PotentialGame
 from ..markov.coupling import coalescence_time_bound
 from ..markov.mixing import MixingTimeResult, mixing_time
 from ..markov.spectral import SpectralSummary, relaxation_mixing_bounds, spectral_summary
 from ..markov.tv import total_variation
+from ..parallel.sharding import claim_executor, shard_plan
 from ..stats.confseq import checkpoint_alpha, tv_distance_band
 from .logit import LogitDynamics
 
@@ -58,19 +61,56 @@ SPARSE_HISTOGRAM_THRESHOLD = 1 << 20
 def _ensemble_tv(sim, reference: np.ndarray) -> float:
     """TV distance between the ensemble's occupation and ``reference``.
 
-    Routes through :meth:`~repro.engine.EnsembleSimulator.
-    empirical_distribution_sparse` for large spaces: with occupied indices
-    ``I`` and frequencies ``p``, ``TV = (sum_{x in I} |p_x - ref_x| +
-    (1 - sum_{x in I} ref_x)) / 2`` — exactly the dense formula with the
-    zero-occupation terms folded into the reference tail.
+    Thin adapter over :func:`_tv_from_indices` — the serial and sharded
+    convergence drivers share one TV implementation by construction.
     """
-    if sim.space.size <= SPARSE_HISTOGRAM_THRESHOLD:
-        return float(total_variation(sim.empirical_distribution(), reference))
-    occupied, counts = sim.empirical_distribution_sparse()
-    emp = counts / sim.num_replicas
+    return _tv_from_indices(
+        np.asarray(sim.state.indices_at(None), dtype=np.int64),
+        reference,
+        sim.space.size,
+    )
+
+
+def _tv_from_indices(indices: np.ndarray, reference: np.ndarray, space_size: int) -> float:
+    """TV distance between a replica occupation and ``reference``.
+
+    Dense histogram up to ``SPARSE_HISTOGRAM_THRESHOLD`` profiles; beyond
+    that, the sparse occupied-index form: with occupied indices ``I`` and
+    frequencies ``p``, ``TV = (sum_{x in I} |p_x - ref_x| + (1 - sum_{x
+    in I} ref_x)) / 2`` — exactly the dense formula with the
+    zero-occupation terms folded into the reference tail.  Memory is then
+    ``O(R)`` regardless of ``|S|``.
+    """
+    num_replicas = indices.size
+    if space_size <= SPARSE_HISTOGRAM_THRESHOLD:
+        counts = np.bincount(indices, minlength=space_size)
+        return float(total_variation(counts / num_replicas, reference))
+    occupied, counts = np.unique(indices, return_counts=True)
+    emp = counts / num_replicas
     ref_occupied = reference[occupied]
     return float(
         0.5 * (np.abs(emp - ref_occupied).sum() + (1.0 - ref_occupied.sum()))
+    )
+
+
+def _advance_tv_shard(dynamics, seeds, start, steps: int):
+    """Advance one replica shard ``steps`` steps; module-level, picklable.
+
+    ``seeds`` is the shard's per-replica randomness — ``SeedSequence``
+    children on the first round, the previous round's generators (adopted
+    as-is, so every stream *continues*) afterwards — and ``start`` the
+    shared start on the first round, the shard's ``(R_shard, n)`` profile
+    rows afterwards.  Returns ``(generators, profiles, indices)``: the
+    round-tripped shard state plus the profile indices the checkpoint TV
+    is computed from.
+    """
+    sim = EnsembleSimulator.seeded(dynamics, seeds, start=start)
+    if steps:
+        sim.run(steps)
+    return (
+        sim.kernel_state["generators"],
+        sim.profiles,
+        np.asarray(sim.state.indices_at(None), dtype=np.int64),
     )
 
 
@@ -203,6 +243,89 @@ class EnsembleMixingEstimate:
         return self.mixing_time_estimate
 
 
+def _estimate_tv_convergence_sharded(
+    dynamics,
+    reference: np.ndarray,
+    num_replicas: int,
+    epsilon: float,
+    start,
+    max_time: int,
+    check_every: int,
+    alpha: float | None,
+    seed,
+    executor,
+) -> EnsembleMixingEstimate:
+    """Sharded-replica TV convergence: the ``executor=`` path.
+
+    The ensemble is split into contiguous replica shards, each advanced in
+    its own (possibly remote) process between checkpoints by
+    :func:`_advance_tv_shard`; the coordinator pools the shards' profile
+    indices at every checkpoint and applies the identical stopping logic.
+    Replica ``r`` draws all randomness from ``SeedSequence`` child ``r``
+    of the master ``seed`` (:meth:`~repro.engine.SeededSequentialKernel.
+    spawn_block`), so the pooled indices — hence the TV curve, the band
+    and the estimate — are bit-for-bit identical for **any** shard count
+    and backend.  Note the randomness contract differs from the
+    ``rng``-driven serial path (per-replica streams vs one shared stream,
+    and a fresh draw block after every checkpoint): results are
+    reproducible against the same ``seed`` and checkpoint schedule, not
+    against ``executor=None`` runs.
+    """
+    require_sequential_dynamics(dynamics)
+    space = dynamics.game.space
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = SeededSequentialKernel.spawn_block(
+        root, root.n_children_spawned, num_replicas
+    )
+    plan = shard_plan(num_replicas, executor.num_shards)
+    shard_seeds = [children[off : off + cnt] for off, cnt in plan]
+    shard_starts: list = [start] * len(plan)
+    curve: list[tuple[float, float]] = []
+    band: list[tuple[float, float]] = []
+    t = 0
+    steps = 0
+    converged = False
+    while True:
+        tasks = [
+            (dynamics, shard_seeds[j], shard_starts[j], steps)
+            for j in range(len(plan))
+        ]
+        results = executor.map_tasks(_advance_tv_shard, tasks)
+        shard_seeds = [r[0] for r in results]
+        shard_starts = [r[1] for r in results]
+        indices = np.concatenate([r[2] for r in results])
+        t += steps
+        tv = _tv_from_indices(indices, reference, space.size)
+        curve.append((float(t), float(tv)))
+        if alpha is None:
+            converged = tv <= epsilon
+        else:
+            lower, upper = tv_distance_band(
+                tv, num_replicas, space.size, checkpoint_alpha(len(curve), alpha)
+            )
+            band.append((lower, upper))
+            converged = upper <= epsilon
+        if converged or t >= max_time:
+            break
+        steps = min(check_every, max_time - t)
+    return EnsembleMixingEstimate(
+        mixing_time_estimate=int(t) if converged else -1,
+        epsilon=epsilon,
+        num_replicas=int(num_replicas),
+        check_every=check_every,
+        tv_curve=np.asarray(curve, dtype=float),
+        capped=not converged,
+        final_indices=indices,
+        converged=converged,
+        alpha=alpha,
+        tv_band=np.asarray(band, dtype=float) if alpha is not None else None,
+    )
+
+
 def estimate_tv_convergence(
     dynamics,
     reference: np.ndarray,
@@ -214,6 +337,8 @@ def estimate_tv_convergence(
     rng: np.random.Generator | None = None,
     mode: str = "auto",
     alpha: float | None = None,
+    executor=None,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> EnsembleMixingEstimate:
     """Time for an ensemble of ``dynamics`` to reach ``reference`` in TV.
 
@@ -252,6 +377,18 @@ def estimate_tv_convergence(
     False`` and the ``-1`` sentinel in ``mixing_time_estimate`` — running
     out of horizon is reported as such, not as a convergence time at the
     last checkpoint.
+
+    ``executor`` (``"serial"``, ``"process"``, or a
+    :class:`repro.parallel.ShardedExecutor`) switches to the *sharded*
+    driver: the ensemble splits into contiguous replica shards, each
+    advanced in its own process between checkpoints, with one independent
+    ``SeedSequence`` child per replica spawned from ``seed``.  Pooled
+    checkpoint histograms — and therefore the whole estimate — are
+    bit-for-bit identical for every shard count, so the shard count is
+    purely a wall-clock knob.  Sharded mode requires sequential dynamics
+    (the per-replica-stream contract) and is seeded by ``seed``, not
+    ``rng``; its randomness contract differs from the ``rng``-driven
+    serial path, so compare sharded runs against sharded runs.
     """
     if not 0 < epsilon < 1:
         raise ValueError("epsilon must lie in (0, 1)")
@@ -265,6 +402,37 @@ def estimate_tv_convergence(
         start = int(np.argmax(reference))
     elif not isinstance(start, (int, np.integer)):
         start = np.asarray(start, dtype=np.int64)
+    sharder, owned = claim_executor(executor)
+    if sharder is not None:
+        if rng is not None:
+            raise ValueError(
+                "rng drives the serial ensemble; the sharded (executor=) "
+                "driver seeds one stream per replica — pass seed= instead"
+            )
+        if check_every is None:
+            check_every = max(1, space.num_players)
+        try:
+            return _estimate_tv_convergence_sharded(
+                dynamics,
+                reference,
+                int(num_replicas),
+                epsilon,
+                start,
+                int(max_time),
+                max(int(check_every), 1),
+                alpha,
+                seed,
+                sharder,
+            )
+        finally:
+            if owned:
+                sharder.close()
+    if seed is not None:
+        raise ValueError(
+            "seed= selects the sharded (executor=) driver's per-replica "
+            "streams; the serial path is driven by rng= — pass one or the "
+            "other, not a dangling seed"
+        )
     sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode)
     budget = sim.kernel.remaining_steps(sim)
     if budget is not None:
@@ -318,6 +486,8 @@ def estimate_mixing_time_ensemble(
     rng: np.random.Generator | None = None,
     mode: str = "auto",
     alpha: float | None = None,
+    executor=None,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> EnsembleMixingEstimate:
     """Sampled TV mixing estimate from ``num_replicas`` parallel replicas.
 
@@ -346,7 +516,9 @@ def estimate_mixing_time_ensemble(
     A run that never crosses ``epsilon`` within ``max_time`` reports
     ``converged False`` and the ``-1`` sentinel, never the last checkpoint
     as if it were a measurement; ``alpha`` additionally requests the
-    anytime-valid TV sampling band and certified stopping (see
+    anytime-valid TV sampling band and certified stopping, and
+    ``executor`` + ``seed`` the sharded multi-process driver with
+    shard-count-invariant results (both see
     :func:`estimate_tv_convergence`).
     """
     dynamics = LogitDynamics(game, beta)
@@ -366,6 +538,8 @@ def estimate_mixing_time_ensemble(
         rng=rng,
         mode=mode,
         alpha=alpha,
+        executor=executor,
+        seed=seed,
     )
 
 

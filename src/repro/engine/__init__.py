@@ -41,6 +41,14 @@ Components:
   coupled pairs of the paper's grand coupling advanced simultaneously;
 * :mod:`~repro.engine.sampling` — the shared inverse-CDF primitive that
   keeps the loop references and the batched paths bit-identical.
+
+Shard-aware seeding: :meth:`SeededSequentialKernel.spawn_block
+<repro.engine.kernels.SeededSequentialKernel.spawn_block>` reconstructs
+any block of a master seed's children from ``(root, offset, count)``
+alone — no shared spawn cursor — which is the primitive the sharded
+multi-process executors (:mod:`repro.parallel`) distribute replicas
+with, and the reason pooled results are bit-for-bit invariant to the
+shard count.
 """
 
 from .coupled import maximal_coupling_update_many, simulate_grand_coupling_ensemble

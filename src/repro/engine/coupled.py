@@ -86,6 +86,32 @@ def simulate_grand_coupling_ensemble(
 ) -> CouplingResult:
     """Simulate ``num_runs`` independent grand-coupling pairs in parallel.
 
+    Parameters
+    ----------
+    dynamics:
+        The coupled dynamics; must expose ``game`` and
+        ``update_distribution_many``
+        (:class:`~repro.core.logit.LogitDynamics` is the canonical
+        provider).
+    start_x, start_y:
+        ``(n,)`` integer strategy profiles the two coupled copies start
+        from — for worst-case coalescence estimates, the two profiles
+        expected to be hardest to couple.
+    horizon:
+        Maximum number of coupled steps per pair.
+    num_runs:
+        Number of independent coupled pairs advanced simultaneously.
+    rng:
+        Numpy generator (fresh default generator if omitted).
+
+    Returns
+    -------
+    repro.markov.coupling.CouplingResult
+        Per-pair coalescence times (``-1`` when a pair did not coalesce
+        within the horizon) plus the horizon, from which
+        ``fraction_coalesced`` and the Theorem 2.1 quantile bound are
+        derived.
+
     ``dynamics`` must expose ``game`` and ``update_distribution_many`` (see
     :class:`~repro.engine.ensemble.EnsembleSimulator`); each pair evolves
     exactly as in :func:`repro.markov.coupling.simulate_grand_coupling` —

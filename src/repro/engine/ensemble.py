@@ -111,6 +111,24 @@ class EnsembleSimulator:
         (index whenever the profile space fits in int64, matrix beyond).
         Small-space trajectories are bit-for-bit identical across the two
         backends under a fixed seed.
+
+    Example
+    -------
+    >>> import networkx as nx
+    >>> import numpy as np
+    >>> from repro.core import LogitDynamics
+    >>> from repro.games import IsingGame
+    >>> game = IsingGame(nx.cycle_graph(4), coupling=1.0)
+    >>> dynamics = LogitDynamics(game, beta=0.8)
+    >>> sim = dynamics.ensemble(32, start=(0, 0, 0, 0), rng=np.random.default_rng(0))
+    >>> sim.run(500)
+    >>> sim.profiles.shape
+    (32, 4)
+    >>> consensus = game.space.encode(np.ones(4, dtype=np.int64))
+    >>> sim.reset(start=(0, 0, 0, 0))
+    >>> times = sim.hitting_times(consensus, max_steps=10_000)
+    >>> times.shape, bool(np.all(times >= 0))
+    ((32,), True)
     """
 
     def __init__(

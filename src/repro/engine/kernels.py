@@ -224,6 +224,59 @@ class SeededSequentialKernel(UpdateKernel):
         if not self.seeds:
             raise ValueError("need one seed (or generator) per replica")
 
+    @staticmethod
+    def spawn_block(
+        root: np.random.SeedSequence, start: int, count: int
+    ) -> list[np.random.SeedSequence]:
+        """Children ``start .. start + count - 1`` of ``root``, shard-aware.
+
+        Parameters
+        ----------
+        root:
+            The master :class:`numpy.random.SeedSequence`.  Not mutated —
+            in particular its ``n_children_spawned`` counter is left alone.
+        start:
+            Absolute index of the first child to construct, counted from a
+            *fresh* root (``root.spawn`` called on a root that has never
+            spawned produces child ``i`` at position ``i``).
+        count:
+            Number of consecutive children to construct.
+
+        Returns
+        -------
+        list[numpy.random.SeedSequence]
+            Bit-for-bit the children a fresh ``root.spawn(start + count)``
+            would have produced at positions ``start .. start + count - 1``:
+            ``numpy`` derives child ``i`` purely from ``(entropy,
+            spawn_key + (i,))``, so a shard can construct its own block of
+            per-replica seeds from ``(root, offset, count)`` alone — no
+            shared mutable spawn cursor, no communication between shards.
+            This is the seeding contract the sharded executors
+            (:mod:`repro.parallel`) build on: per-sample streams are
+            identical no matter how many shards the ensemble is split into.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> root = np.random.SeedSequence(7)
+        >>> serial = np.random.SeedSequence(7).spawn(6)[2:5]
+        >>> block = SeededSequentialKernel.spawn_block(root, 2, 3)
+        >>> [c.spawn_key for c in block] == [c.spawn_key for c in serial]
+        True
+        >>> all(
+        ...     np.random.default_rng(a).random() == np.random.default_rng(b).random()
+        ...     for a, b in zip(block, serial)
+        ... )
+        True
+        """
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        base = tuple(root.spawn_key)
+        return [
+            np.random.SeedSequence(entropy=root.entropy, spawn_key=base + (i,))
+            for i in range(start, start + count)
+        ]
+
     def _generators(self) -> list[np.random.Generator]:
         return [
             s if isinstance(s, np.random.Generator) else np.random.default_rng(s)

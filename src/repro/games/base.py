@@ -242,6 +242,20 @@ class TableGame(Game):
         view.flags.writeable = False
         return view
 
+    def store_spec(self) -> dict:
+        """Content identity for :func:`repro.parallel.describe`.
+
+        The class, the strategy counts and the *full utility content*
+        (digested when large) — two tabulated games hash identically iff
+        they are the same game, which is what the experiment store keys
+        on.  ``__repr__`` is cosmetic and deliberately not used.
+        """
+        return {
+            "class": type(self).__qualname__,
+            "num_strategies": list(self.space.num_strategies),
+            "utilities": self._utilities,
+        }
+
 
 class NormalFormGame(TableGame):
     """Two-player normal-form game built from a pair of payoff matrices.

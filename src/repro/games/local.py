@@ -449,6 +449,28 @@ class LocalInteractionGame(PotentialGame):
             )
         return self._potential_cache.copy()
 
+    def store_spec(self) -> dict:
+        """Content identity for :func:`repro.parallel.describe`.
+
+        Class, strategy count, the full edge list and the per-edge payoff
+        / potential / field content (digested when large) — so two
+        local-interaction games hash identically iff they play the same
+        game on the same graph.  In particular an
+        :class:`~repro.games.ising.IsingGame`'s coupling, field and
+        topology are all captured through the payoff matrices and edge
+        arrays; the cosmetic ``__repr__`` (which only shows sizes) is
+        deliberately not used.
+        """
+        return {
+            "class": type(self).__qualname__,
+            "num_players": self.num_players,
+            "num_strategies": int(self.space.num_strategies[0]),
+            "edges": np.stack([self._edge_u, self._edge_v], axis=1),
+            "edge_payoffs": self._edge_payoffs,
+            "edge_potentials": self._edge_potentials,
+            "external_field": self._field,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(players={self.num_players}, "

@@ -150,6 +150,13 @@ class ExplicitPotentialGame(TableGame, PotentialGame):
     def potential(self, profile_index: int) -> float:
         return float(self._potential[profile_index])
 
+    def store_spec(self) -> dict:
+        """Content identity (see :meth:`repro.games.base.TableGame.store_spec`):
+        the tabulated utilities plus the explicit potential vector."""
+        spec = super().store_spec()
+        spec["potential"] = self._potential
+        return spec
+
 
 # ---------------------------------------------------------------------------
 # Potential extraction / verification for arbitrary games

@@ -1,0 +1,376 @@
+"""Sharded execution of per-sample ``SeedSequence`` chunks.
+
+The adaptive driver :func:`repro.stats.adaptive.run_until_width` already
+derives sample ``i`` from ``SeedSequence`` child ``i`` alone, which makes
+the pooled sample stream a pure function of the master seed — independent
+of how the budget is chunked.  This module extends that purity to *process
+boundaries*: a chunk of children is split into contiguous shards
+(:func:`shard_plan`), each shard reconstructs its own seed block with
+:meth:`repro.engine.SeededSequentialKernel.spawn_block` (no shared spawn
+cursor, so shards need no coordination), evaluates the caller's sampler on
+it, and the coordinator pools the per-shard sample arrays back **in sample
+order**.  Pooled samples — and therefore every downstream estimate and
+confidence sequence — are bit-for-bit identical to the single-process run
+for *any* shard count (``tests/test_sharded_execution.py`` pins
+``k in {1, 3, 8}``).
+
+Two executor backends are provided behind one interface:
+
+* ``backend="serial"`` — shards run one after another in-process (the
+  reference semantics, and the zero-dependency default);
+* ``backend="process"`` — shards run on a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Samplers and their
+  payloads (game, dynamics, start profiles, targets) must then be
+  *picklable*: module-level functions or classes, not lambdas or closures
+  — the estimators in :mod:`repro.core.metastability` and
+  :mod:`repro.analysis.welfare` ship picklable sampler objects for exactly
+  this reason.
+
+Per-shard moment statistics travel back as
+:class:`~repro.stats.accumulators.StreamingMoments` and are merged through
+the accumulator's exact Chan fold (:func:`merge_shard_moments`); the
+confidence-sequence state is order-sensitive, so it is *folded* — each
+shard's samples are applied to the coordinator's CS in sample order via
+the existing chunk ``update`` — rather than merged commutatively.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..engine.kernels import SeededSequentialKernel
+from ..stats.accumulators import StreamingMoments
+
+__all__ = [
+    "ShardSample",
+    "ShardedExecutor",
+    "as_executor",
+    "claim_executor",
+    "merge_shard_moments",
+    "pool_shard_samples",
+    "shard_plan",
+]
+
+#: A chunk sampler: receives one spawned ``SeedSequence`` child per
+#: requested sample and returns that many float samples, sample ``i``
+#: derived from child ``i`` only.  Identical to the
+#: :data:`repro.stats.adaptive.ChunkSampler` contract — the same object is
+#: used for serial chunks and for shards.
+ChunkSampler = Callable[[Sequence[np.random.SeedSequence]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ShardSample:
+    """One shard's contribution to a chunk of samples.
+
+    Parameters/attributes
+    ---------------------
+    offset:
+        Absolute index (within the run's sample stream) of this shard's
+        first sample; the coordinator pools shards sorted by offset.
+    samples:
+        ``(count,)`` float array, sample ``j`` derived from seed child
+        ``offset + j`` only.
+    moments:
+        :class:`~repro.stats.accumulators.StreamingMoments` over
+        ``samples`` — the shard-local Welford state merged downstream via
+        :func:`merge_shard_moments`.
+    """
+
+    offset: int
+    samples: np.ndarray
+    moments: StreamingMoments
+
+
+def shard_plan(total: int, num_shards: int) -> list[tuple[int, int]]:
+    """Split ``total`` samples into at most ``num_shards`` contiguous blocks.
+
+    Parameters
+    ----------
+    total:
+        Number of samples in the chunk (non-negative).
+    num_shards:
+        Requested shard count (positive).
+
+    Returns
+    -------
+    list[tuple[int, int]]
+        ``(offset, count)`` pairs with positive counts, offsets relative
+        to the chunk start, counts differing by at most one (the first
+        ``total % num_shards`` shards get the extra sample).  Fewer than
+        ``num_shards`` pairs come back when ``total < num_shards`` —
+        empty shards are never scheduled.
+
+    Example
+    -------
+    >>> shard_plan(10, 3)
+    [(0, 4), (4, 3), (7, 3)]
+    >>> shard_plan(2, 8)
+    [(0, 1), (1, 1)]
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    shards = min(num_shards, total)
+    plan: list[tuple[int, int]] = []
+    offset = 0
+    for j in range(shards):
+        count = total // shards + (1 if j < total % shards else 0)
+        plan.append((offset, count))
+        offset += count
+    return plan
+
+
+def _sample_shard(
+    sampler: ChunkSampler,
+    root: np.random.SeedSequence,
+    start: int,
+    count: int,
+) -> ShardSample:
+    """Evaluate one shard: reconstruct its seed block, sample, accumulate.
+
+    Module-level (not a closure) so the process backend can pickle it; the
+    shard needs only ``(root, start, count)`` to rebuild exactly the
+    children a serial ``root.spawn`` would have produced at those
+    positions.
+    """
+    children = SeededSequentialKernel.spawn_block(root, start, count)
+    samples = np.asarray(sampler(children), dtype=float)
+    if samples.shape != (count,):
+        raise ValueError(
+            f"sampler returned shape {samples.shape} for {count} children; "
+            f"sharded execution needs exactly one sample per spawned child"
+        )
+    moments = StreamingMoments()
+    moments.update(samples)
+    return ShardSample(offset=start, samples=samples, moments=moments)
+
+
+def pool_shard_samples(shards: Sequence[ShardSample]) -> np.ndarray:
+    """Concatenate shard samples back into sample order.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`ShardSample` results of one chunk, in any order.
+
+    Returns
+    -------
+    numpy.ndarray
+        The chunk's samples sorted by shard offset — bit-for-bit the array
+        a single-process evaluation of the whole chunk would have produced.
+    """
+    ordered = sorted(shards, key=lambda s: s.offset)
+    return np.concatenate([s.samples for s in ordered])
+
+
+def merge_shard_moments(shards: Sequence[ShardSample]) -> StreamingMoments:
+    """Merge per-shard Welford accumulators with the exact Chan combine.
+
+    The merge is order-independent and algebraically exact (the
+    :meth:`~repro.stats.accumulators.StreamingMoments.merge` fold), so the
+    merged count always matches the pooled sample count and the merged
+    mean/variance agree with a direct computation up to floating-point
+    accumulation order.
+    """
+    merged = StreamingMoments()
+    for shard in sorted(shards, key=lambda s: s.offset):
+        merged.merge(shard.moments)
+    return merged
+
+
+def _payload_pickles(fn, tasks) -> bool:
+    """Whether a task batch would survive the worker-queue round trip."""
+    try:
+        pickle.dumps((fn, tasks))
+        return True
+    except Exception:
+        return False
+
+
+class ShardedExecutor:
+    """Splits sample chunks into shards and runs them on a pluggable backend.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards a chunk is split into (``shard_plan``); also the
+        default worker count of the process backend.  Sharding never
+        changes results — pooled samples are bit-for-bit identical for
+        every ``num_shards`` — so this is purely a throughput knob.
+    backend:
+        ``"serial"`` (shards run in-process, one after another) or
+        ``"process"`` (a ``concurrent.futures.ProcessPoolExecutor``;
+        samplers must be picklable).
+    max_workers:
+        Process-pool size for ``backend="process"``; defaults to
+        ``num_shards``.
+
+    The executor plugs into :func:`repro.stats.adaptive.run_until_width`
+    (and through it into every ``precision=`` estimator) via their
+    ``executor=`` argument, and is reusable across calls — the process
+    pool is created lazily on first use and kept warm until
+    :meth:`close` (also a context manager).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> def one_uniform(children):
+    ...     return np.array([np.random.default_rng(c).random() for c in children])
+    >>> root = np.random.SeedSequence(11)
+    >>> serial = pool_shard_samples(
+    ...     ShardedExecutor(num_shards=1).map_chunk(one_uniform, root, 0, 12)
+    ... )
+    >>> with ShardedExecutor(num_shards=3) as ex:
+    ...     sharded = pool_shard_samples(ex.map_chunk(one_uniform, root, 0, 12))
+    >>> bool(np.array_equal(serial, sharded))
+    True
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        backend: str = "serial",
+        max_workers: int | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {backend!r}; use 'serial' or 'process'")
+        self.num_shards = int(num_shards)
+        self.backend = backend
+        self.max_workers = int(max_workers) if max_workers is not None else self.num_shards
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self._pool = None
+
+    # -- backend plumbing --------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map_tasks(self, fn, tasks: list[tuple]) -> list:
+        """Apply ``fn(*task)`` to every task, preserving task order.
+
+        The raw fan-out primitive under :meth:`map_chunk`, also used
+        directly by drivers whose shard payload is not a sample chunk
+        (the sharded ensemble advance of
+        :func:`repro.core.mixing.estimate_tv_convergence`).  ``fn`` and
+        every task element must be picklable on the process backend.
+        """
+        if self.backend == "serial":
+            return [fn(*task) for task in tasks]
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(fn, *task) for task in tasks]
+            return [f.result() for f in futures]
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # f.result() re-raises both submit-time pickling failures and
+            # genuine runtime errors from inside workers; only blame
+            # pickling when the payload actually fails to pickle
+            if _payload_pickles(fn, tasks):
+                raise
+            raise ValueError(
+                "the process backend must pickle the sampler and its payload "
+                "(game, dynamics, start, targets) to ship them to workers; "
+                "use module-level functions/classes instead of lambdas or "
+                f"closures, or backend='serial' — pickling failed with: {exc}"
+            ) from exc
+
+    def map_chunk(
+        self,
+        sampler: ChunkSampler,
+        root: np.random.SeedSequence,
+        start: int,
+        count: int,
+    ) -> list[ShardSample]:
+        """Evaluate samples ``start .. start + count - 1`` across the shards.
+
+        Parameters
+        ----------
+        sampler:
+            The chunk sampler (one sample per ``SeedSequence`` child).
+        root:
+            Master seed; never mutated — shards rebuild their own child
+            blocks from ``(root, absolute offset, count)``.
+        start:
+            Absolute index of the chunk's first sample in the run's
+            sample stream (the spawn position of its seed child).
+        count:
+            Chunk size.
+
+        Returns
+        -------
+        list[ShardSample]
+            One entry per scheduled shard, in offset order; pool with
+            :func:`pool_shard_samples` / :func:`merge_shard_moments`.
+        """
+        plan = shard_plan(count, self.num_shards)
+        tasks = [(sampler, root, start + off, cnt) for off, cnt in plan]
+        return self.map_tasks(_sample_shard, tasks)
+
+    def close(self) -> None:
+        """Shut the process pool down (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedExecutor(num_shards={self.num_shards}, "
+            f"backend={self.backend!r}, max_workers={self.max_workers})"
+        )
+
+
+def as_executor(executor) -> ShardedExecutor | None:
+    """Normalise the ``executor=`` knob of the estimators and sweeps.
+
+    Accepts ``None`` (no sharding — the caller's serial fast path), an
+    existing :class:`ShardedExecutor` (returned as-is), or a string:
+    ``"serial"`` (one in-process shard — the reference semantics) and
+    ``"process"`` (a process pool with one shard per available CPU, as
+    reported by ``os.cpu_count``).
+    """
+    if executor is None or isinstance(executor, ShardedExecutor):
+        return executor
+    if executor == "serial":
+        return ShardedExecutor(num_shards=1, backend="serial")
+    if executor == "process":
+        workers = max(os.cpu_count() or 1, 1)
+        return ShardedExecutor(num_shards=workers, backend="process")
+    raise ValueError(
+        f"unknown executor {executor!r}; pass None, 'serial', 'process', "
+        f"or a ShardedExecutor instance"
+    )
+
+
+def claim_executor(executor) -> tuple[ShardedExecutor | None, bool]:
+    """:func:`as_executor` plus ownership of the normalised instance.
+
+    Returns ``(sharder, owned)`` with ``owned`` true exactly when the
+    call *created* the executor (i.e. the caller passed a string, not a
+    live :class:`ShardedExecutor`).  Drivers and sweeps that claim an
+    executor must ``close()`` it when they own it — otherwise every cell
+    of a ``executor="process"`` sweep would spawn (and leak) its own
+    process pool.  Caller-supplied instances are never closed: their
+    lifetime — and the pool-warming it buys across calls — belongs to
+    the caller.
+    """
+    sharder = as_executor(executor)
+    return sharder, sharder is not None and sharder is not executor

@@ -8,6 +8,11 @@ moment accumulators and the interval-carrying
 (:mod:`repro.stats.accumulators`), and the chunked adaptive-stopping driver
 :func:`~repro.stats.adaptive.run_until_width` built on the
 ``SeedSequence.spawn`` discipline (:mod:`repro.stats.adaptive`).
+
+The one-child-per-sample discipline is also what makes the driver
+*shardable*: ``run_until_width(..., executor=...)`` splits every chunk
+across a :class:`repro.parallel.ShardedExecutor` with pooled samples —
+and hence intervals — bit-for-bit identical for any shard count.
 """
 
 from .accumulators import StreamingEstimate, StreamingMoments

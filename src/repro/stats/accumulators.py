@@ -41,7 +41,20 @@ class StreamingMoments:
         self._m2: np.ndarray | float = 0.0
 
     def update(self, chunk: np.ndarray) -> None:
-        """Fold a ``(c,)`` or ``(c, K)`` chunk of observations in."""
+        """Fold a chunk of observations into the running moments.
+
+        Parameters
+        ----------
+        chunk:
+            ``(c,)`` float observations for a single estimand, or
+            ``(c, K)`` for ``K`` estimands advancing in lock-step.  Empty
+            chunks are a no-op.
+
+        Returns
+        -------
+        None — the accumulator state (``count``, ``mean``, ``variance``)
+        is updated in place via the exact Chan parallel combine.
+        """
         chunk = np.asarray(chunk, dtype=float)
         if chunk.ndim not in (1, 2):
             raise ValueError("chunks must be (c,) or (c, K) observation arrays")
@@ -62,7 +75,19 @@ class StreamingMoments:
         self.count = total
 
     def merge(self, other: "StreamingMoments") -> None:
-        """Fold another accumulator in (exact parallel combine)."""
+        """Fold another accumulator in (exact parallel combine).
+
+        Parameters
+        ----------
+        other:
+            A :class:`StreamingMoments` over the *same* estimand axis;
+            not mutated.  The combine is the algebraically exact Chan
+            fold — the fold operation the sharded executors use to merge
+            per-shard accumulators
+            (:func:`repro.parallel.merge_shard_moments`) — so splitting a
+            stream into shards of any sizes produces the same moments as
+            one big update, up to floating-point accumulation order.
+        """
         if other.count == 0:
             return
         if self.count == 0:

@@ -39,6 +39,7 @@ def run_until_width(
     seed: int | np.random.SeedSequence | None = None,
     cs=None,
     keep_samples: bool = True,
+    executor=None,
 ) -> StreamingEstimate:
     """Sample in chunks until the confidence interval is ``target_width`` wide.
 
@@ -82,10 +83,59 @@ def run_until_width(
     keep_samples:
         Attach the pooled raw samples to the result (the chunking
         regression and the benchmarks read them); disable for huge runs.
+    executor:
+        ``None`` (default — the serial fast path), ``"serial"``,
+        ``"process"``, or a :class:`repro.parallel.ShardedExecutor`: each
+        chunk's children are split into contiguous shards, the shards are
+        evaluated by the executor's backend, and the per-shard samples are
+        pooled back in sample order.  Because sample ``i`` is a pure
+        function of child ``i``, the pooled samples — and the interval —
+        are **bit-for-bit identical for every shard count and backend**;
+        sharding is purely a wall-clock knob.  The process backend
+        requires a picklable ``make_chunk`` (a module-level function or
+        class instance, not a lambda or closure).
+
+    Returns
+    -------
+    StreamingEstimate
+        The pooled sample mean with its time-uniform ``(1 - alpha)``
+        interval at the stopping time, the sample count consumed, the
+        ``stopped_early`` flag, and (``keep_samples``) the raw samples.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> def one_uniform(children):
+    ...     return np.array([np.random.default_rng(c).random() for c in children])
+    >>> est = run_until_width(
+    ...     one_uniform, target_width=0.0, max_n=24, chunk_size=8,
+    ...     support=(0.0, 1.0), seed=5,
+    ... )
+    >>> est.n
+    24
+    >>> rechunked = run_until_width(
+    ...     one_uniform, target_width=0.0, max_n=24, chunk_size=1,
+    ...     support=(0.0, 1.0), seed=5,
+    ... )
+    >>> bool(np.array_equal(est.samples, rechunked.samples))
+    True
+    >>> from repro.parallel import ShardedExecutor
+    >>> with ShardedExecutor(num_shards=3) as ex:
+    ...     sharded = run_until_width(
+    ...         one_uniform, target_width=0.0, max_n=24, chunk_size=8,
+    ...         support=(0.0, 1.0), seed=5, executor=ex,
+    ...     )
+    >>> bool(np.array_equal(est.samples, sharded.samples))
+    True
+    >>> (est.lower, est.upper) == (sharded.lower, sharded.upper)
+    True
     """
+    from ..parallel.sharding import claim_executor, pool_shard_samples
+
     if max_n < 1:
         raise ValueError("max_n must be positive")
     chunk_size = max(int(chunk_size), 1)
+    sharder, owned = claim_executor(executor)
     if cs is None:
         if support is not None:
             cs = EmpiricalBernsteinCS(alpha=alpha, support=support)
@@ -96,28 +146,40 @@ def run_until_width(
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
+    # absolute spawn position of the next child, so sharded chunks can
+    # reconstruct their seed blocks without the root's mutable cursor
+    base = root.n_children_spawned
     moments = StreamingMoments()
     pooled: list[np.ndarray] = []
     n = 0
     lower = -np.inf
     upper = np.inf
-    while n < max_n:
-        k = min(chunk_size, max_n - n)
-        children = root.spawn(k)
-        samples = np.asarray(make_chunk(children), dtype=float)
-        if samples.shape != (k,):
-            raise ValueError(
-                f"make_chunk returned shape {samples.shape} for {k} children; "
-                f"the driver needs exactly one sample per spawned child"
-            )
-        cs.update(samples)
-        moments.update(samples)
-        if keep_samples:
-            pooled.append(samples)
-        n += k
-        lower, upper = (float(b) for b in cs.interval())
-        if target_width > 0 and upper - lower <= target_width:
-            break
+    try:
+        while n < max_n:
+            k = min(chunk_size, max_n - n)
+            if sharder is None:
+                children = root.spawn(k)
+                samples = np.asarray(make_chunk(children), dtype=float)
+            else:
+                shards = sharder.map_chunk(make_chunk, root, base + n, k)
+                samples = pool_shard_samples(shards)
+                root.spawn(k)  # keep the root's cursor consistent with serial use
+            if samples.shape != (k,):
+                raise ValueError(
+                    f"make_chunk returned shape {samples.shape} for {k} children; "
+                    f"the driver needs exactly one sample per spawned child"
+                )
+            cs.update(samples)
+            moments.update(samples)
+            if keep_samples:
+                pooled.append(samples)
+            n += k
+            lower, upper = (float(b) for b in cs.interval())
+            if target_width > 0 and upper - lower <= target_width:
+                break
+    finally:
+        if owned:
+            sharder.close()
     width_reached = upper - lower <= target_width if target_width > 0 else False
     return StreamingEstimate(
         estimate=float(moments.mean),

@@ -1,0 +1,412 @@
+"""Experiment store: content addressing, round-trips, resume semantics.
+
+Pins the contracts the sweeps' ``store=`` knob relies on: keys are stable
+across runs and insensitive to spec-dict representation, records survive a
+JSON/NPZ round-trip exactly, corrupted or partial records read as misses
+(recompute, never crash), cache hits skip *all* ensemble work, and an
+interrupted sweep resumes from its last completed cell.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro.core.metastability as metastability
+from repro.analysis.sweep import dynamics_family_sweep, hitting_time_size_sweep
+from repro.core.logit import LogitDynamics
+from repro.games import IsingGame
+from repro.parallel import ExperimentStore, as_store, canonical_key, describe
+from repro.stats import StreamingEstimate
+
+
+def make_ring_game(n: int) -> IsingGame:
+    return IsingGame(nx.cycle_graph(int(n)), coupling=1.0)
+
+
+def zeros_start(game) -> np.ndarray:
+    return np.zeros(game.num_players, dtype=np.int64)
+
+
+@dataclass
+class MagnetizationAtLeast:
+    game: IsingGame
+    threshold: float
+
+    def __call__(self, profiles):
+        return self.game.magnetization_of_profiles(profiles) >= self.threshold
+
+
+def mag_target(game) -> MagnetizationAtLeast:
+    return MagnetizationAtLeast(game, 0.5)
+
+
+SWEEP_KWARGS = dict(
+    sizes=[5, 6],
+    beta=0.7,
+    start_factory=zeros_start,
+    target_factory=mag_target,
+    precision=0.25,
+    seed=42,
+    max_steps=200,
+    chunk_size=16,
+    max_replicas=64,
+)
+
+
+# ---------------------------------------------------------------------------
+# content addressing
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_key_is_stable_across_runs():
+    # hard-coded digest: a changed canonicalisation would silently orphan
+    # every existing store, so it must fail loudly here instead
+    spec = {"sweep": "demo", "n": 8, "beta": 0.5, "seed": 7}
+    assert canonical_key(spec) == (
+        "08eff6cb956c19e7a9d7c48c77abbbb48fdd41b93048a79197e608cb3b03a6b0"
+    )
+
+
+def test_canonical_key_ignores_representation_details():
+    seed_a = np.random.SeedSequence(3).spawn(2)[1]
+    seed_b = np.random.SeedSequence(3).spawn(2)[1]
+    spec_a = {"b": np.float64(1.5), "a": 3, "arr": np.arange(4), "seed": seed_a}
+    spec_b = {"a": np.int64(3), "arr": np.arange(4), "b": 1.5, "seed": seed_b}
+    assert canonical_key(spec_a) == canonical_key(spec_b)
+    # different content, different key
+    spec_c = dict(spec_b, a=4)
+    assert canonical_key(spec_c) != canonical_key(spec_b)
+
+
+def test_describe_rejects_lambdas_but_accepts_named_callables():
+    assert describe(make_ring_game)["__callable__"].endswith("make_ring_game")
+    partial = functools.partial(make_ring_game, 6)
+    assert "__partial__" in describe(partial)
+    with pytest.raises(ValueError, match="store_tag"):
+        describe(lambda n: n)
+
+
+def test_describe_normalises_special_floats_and_arrays():
+    assert describe(float("nan")) == {"__float__": "nan"}
+    assert describe(float("inf")) == {"__float__": "inf"}
+    described = describe(np.arange(3, dtype=np.int16))
+    assert described == {"__ndarray__": [0, 1, 2], "dtype": "int16"}
+    # large arrays are content-digested, not inlined — and the digest is
+    # still a content address
+    big_a, big_b = np.arange(1000.0), np.arange(1000.0)
+    big_c = np.arange(1000.0) + 1e-9
+    assert "__ndarray_digest__" in describe(big_a)
+    assert describe(big_a) == describe(big_b)
+    assert describe(big_a) != describe(big_c)
+
+
+def test_games_are_identified_by_content_not_repr():
+    """Same sizes, different game -> different key (reprs are cosmetic)."""
+    ring = make_ring_game(8)
+    stronger = IsingGame(nx.cycle_graph(8), coupling=2.0)
+    other_graph = IsingGame(nx.path_graph(9), coupling=1.0)  # also 8 edges
+    assert repr(ring) == repr(stronger)  # the trap: reprs under-identify
+    keys = {canonical_key(describe(g)) for g in (ring, stronger, other_graph)}
+    assert len(keys) == 3
+    assert canonical_key(describe(ring)) == canonical_key(describe(make_ring_game(8)))
+
+
+def test_tabulated_games_are_identified_by_utilities():
+    from repro.games import TableGame
+
+    a = TableGame((2, 2), np.ones((2, 4)))
+    b = TableGame((2, 2), 2.0 * np.ones((2, 4)))
+    assert canonical_key(describe(a)) != canonical_key(describe(b))
+    assert canonical_key(describe(a)) == canonical_key(
+        describe(TableGame((2, 2), np.ones((2, 4))))
+    )
+
+
+# ---------------------------------------------------------------------------
+# record round-trips and corruption fallback
+# ---------------------------------------------------------------------------
+
+
+def test_round_trip_preserves_streaming_estimates_and_arrays(tmp_path):
+    store = ExperimentStore(tmp_path)
+    estimate = StreamingEstimate(
+        estimate=1.5,
+        lower=1.0,
+        upper=2.0,
+        n=32,
+        stopped_early=True,
+        alpha=0.05,
+        target_width=0.5,
+        samples=np.linspace(0.0, 3.0, 32),
+    )
+    result = {
+        "estimate": estimate,
+        "curve": np.arange(6, dtype=float).reshape(3, 2),
+        "nan": float("nan"),
+        "neg_inf": float("-inf"),
+        "flags": [True, None, "text", 7],
+    }
+    spec = {"cell": 1}
+    store.put(spec, result)
+    loaded = store.get(spec)
+    np.testing.assert_array_equal(loaded["estimate"].samples, estimate.samples)
+    assert loaded["estimate"].estimate == estimate.estimate
+    assert loaded["estimate"].stopped_early is True
+    np.testing.assert_array_equal(loaded["curve"], result["curve"])
+    assert np.isnan(loaded["nan"])
+    assert loaded["neg_inf"] == float("-inf")
+    assert loaded["flags"] == [True, None, "text", 7]
+
+
+def test_get_or_compute_hits_skip_computation(tmp_path):
+    store = ExperimentStore(tmp_path)
+    calls = {"n": 0}
+
+    def compute():
+        calls["n"] += 1
+        return {"value": 3.5}
+
+    first, cached_first = store.get_or_compute({"k": 1}, compute)
+    second, cached_second = store.get_or_compute({"k": 1}, compute)
+    assert calls["n"] == 1
+    assert (cached_first, cached_second) == (False, True)
+    assert first == second == {"value": 3.5}
+
+
+def test_corrupted_manifest_reads_as_miss(tmp_path):
+    store = ExperimentStore(tmp_path)
+    spec = {"cell": "corrupt-me"}
+    key = store.put(spec, {"value": 1.0})
+    (tmp_path / f"{key}.json").write_text("{ truncated mid-write")
+    assert store.get(spec) is None
+    # recompute path: put overwrites the broken record
+    store.put(spec, {"value": 2.0})
+    assert store.get(spec) == {"value": 2.0}
+
+
+def test_missing_or_garbled_npz_payload_reads_as_miss(tmp_path):
+    store = ExperimentStore(tmp_path)
+    spec = {"cell": "payload"}
+    key = store.put(spec, {"arr": np.arange(4)})
+    (tmp_path / f"{key}.npz").unlink()
+    assert store.get(spec) is None
+    store.put(spec, {"arr": np.arange(4)})
+    (tmp_path / f"{key}.npz").write_bytes(b"not a zip archive")
+    assert store.get(spec) is None
+
+
+def test_format_version_mismatch_reads_as_miss(tmp_path):
+    store = ExperimentStore(tmp_path)
+    spec = {"cell": "versioned"}
+    key = store.put(spec, {"value": 1.0})
+    manifest = json.loads((tmp_path / f"{key}.json").read_text())
+    manifest["format_version"] = 999
+    (tmp_path / f"{key}.json").write_text(json.dumps(manifest))
+    assert store.get(spec) is None
+
+
+def test_as_store_accepts_paths(tmp_path):
+    store = as_store(tmp_path / "cells")
+    assert isinstance(store, ExperimentStore)
+    assert as_store(store) is store
+    assert as_store(None) is None
+    with pytest.raises(ValueError):
+        as_store(42)
+
+
+# ---------------------------------------------------------------------------
+# sweep integration: zero ensemble steps on re-run, resume after kill
+# ---------------------------------------------------------------------------
+
+
+def test_completed_sweep_reruns_with_zero_ensemble_steps(tmp_path, monkeypatch):
+    store = ExperimentStore(tmp_path)
+    first = hitting_time_size_sweep(make_ring_game, store=store, **SWEEP_KWARGS)
+
+    calls = {"estimator": 0, "factory": 0}
+    real_estimator = metastability.empirical_hitting_times
+
+    def counting_estimator(*args, **kwargs):
+        calls["estimator"] += 1
+        return real_estimator(*args, **kwargs)
+
+    def counting_factory(n):
+        calls["factory"] += 1
+        return make_ring_game(n)
+
+    counting_factory.__qualname__ = make_ring_game.__qualname__
+    counting_factory.__module__ = make_ring_game.__module__
+    monkeypatch.setattr(metastability, "empirical_hitting_times", counting_estimator)
+
+    second = hitting_time_size_sweep(counting_factory, store=store, **SWEEP_KWARGS)
+    assert calls == {"estimator": 0, "factory": 0}, (
+        "a fully cached sweep must run zero ensemble steps and build no games"
+    )
+    for a, b in zip(first.records, second.records):
+        assert a.parameter == b.parameter
+        assert a.extra["mean_hitting_time"] == b.extra["mean_hitting_time"]
+        assert a.extra["hitting_lower"] == b.extra["hitting_lower"]
+        assert a.extra["provenance"] == "computed"
+        assert b.extra["provenance"] == "store"
+
+
+def test_interrupted_sweep_resumes_from_last_completed_cell(tmp_path):
+    store = ExperimentStore(tmp_path)
+    kwargs = dict(SWEEP_KWARGS, sizes=[5, 6, 7])
+    built: list[int] = []
+
+    def failing_factory(n):
+        if len(built) >= 2:
+            raise KeyboardInterrupt("killed mid-grid")
+        built.append(n)
+        return make_ring_game(n)
+
+    failing_factory.__qualname__ = make_ring_game.__qualname__
+    failing_factory.__module__ = make_ring_game.__module__
+
+    with pytest.raises(KeyboardInterrupt):
+        hitting_time_size_sweep(failing_factory, store=store, **kwargs)
+    assert built == [5, 6]  # two cells completed and were stored
+
+    resumed: list[int] = []
+
+    def resuming_factory(n):
+        resumed.append(n)
+        return make_ring_game(n)
+
+    resuming_factory.__qualname__ = make_ring_game.__qualname__
+    resuming_factory.__module__ = make_ring_game.__module__
+
+    result = hitting_time_size_sweep(resuming_factory, store=store, **kwargs)
+    assert resumed == [7], "only the interrupted cell should be recomputed"
+    assert [r.extra["provenance"] for r in result.records] == [
+        "store",
+        "store",
+        "computed",
+    ]
+
+
+def test_store_requires_seed_and_adaptive_mode():
+    game_factory = make_ring_game
+    with pytest.raises(ValueError, match="seed"):
+        hitting_time_size_sweep(
+            game_factory,
+            sizes=[5],
+            beta=0.5,
+            start_factory=zeros_start,
+            target_factory=mag_target,
+            precision=0.25,
+            store="unused-path",
+        )
+    with pytest.raises(ValueError, match="precision"):
+        hitting_time_size_sweep(
+            game_factory,
+            sizes=[5],
+            beta=0.5,
+            start_factory=zeros_start,
+            target_factory=mag_target,
+            seed=1,
+            store="unused-path",
+        )
+
+
+def test_store_tag_is_the_lambda_escape_hatch(tmp_path):
+    with pytest.raises(ValueError, match="store_tag"):
+        hitting_time_size_sweep(
+            lambda n: make_ring_game(n),
+            store=ExperimentStore(tmp_path),
+            **SWEEP_KWARGS,
+        )
+    result = hitting_time_size_sweep(
+        lambda n: make_ring_game(n),
+        store=ExperimentStore(tmp_path),
+        store_tag="ring-ising-mag0.5",
+        **SWEEP_KWARGS,
+    )
+    assert all(r.extra["provenance"] == "computed" for r in result.records)
+
+
+def test_serial_and_sharded_cells_do_not_share_a_cache_key(tmp_path):
+    """The randomness contract is part of the spec: a serial-rng run and a
+    sharded per-replica-stream run draw different samples from the same
+    seed, so one must never be served from the other's cached cell (the
+    shard *count*, by contrast, never changes results and never splits
+    the cache)."""
+    from repro.analysis.sweep import ensemble_beta_sweep
+    from repro.parallel import ShardedExecutor
+
+    game = make_ring_game(6)
+    store = ExperimentStore(tmp_path)
+    common = dict(betas=[0.3], num_replicas=64, max_time=200, seed=1, store=store)
+    serial = ensemble_beta_sweep(game, **common)
+    sharded = ensemble_beta_sweep(game, executor=ShardedExecutor(2), **common)
+    assert serial.records[0].extra["provenance"] == "computed"
+    assert sharded.records[0].extra["provenance"] == "computed"
+    resharded = ensemble_beta_sweep(game, executor=ShardedExecutor(5), **common)
+    assert resharded.records[0].extra["provenance"] == "store"
+    assert resharded.records[0].mixing_time == sharded.records[0].mixing_time
+
+
+def test_sweep_executor_requires_seed():
+    from repro.analysis.sweep import dynamics_family_sweep, ensemble_beta_sweep
+    from repro.core.logit import LogitDynamics
+
+    game = make_ring_game(5)
+    with pytest.raises(ValueError, match="seed="):
+        ensemble_beta_sweep(game, [0.3], num_replicas=8, max_time=20, executor="serial")
+    with pytest.raises(ValueError, match="seed="):
+        dynamics_family_sweep(
+            game,
+            {"seq": lambda g: LogitDynamics(g, 0.5)},
+            reference=LogitDynamics(game, 0.5).stationary_distribution(),
+            num_replicas=8,
+            max_time=20,
+            executor="serial",
+        )
+
+
+def test_store_tag_reuse_across_games_cannot_collide_caches(tmp_path):
+    """store_tag labels the cell; the game identifies itself by content."""
+    from repro.analysis.sweep import ensemble_beta_sweep
+
+    store = ExperimentStore(tmp_path)
+    common = dict(
+        betas=[0.3], num_replicas=32, max_time=100, seed=2,
+        store=store, store_tag="same-tag-for-both",
+    )
+    first = ensemble_beta_sweep(make_ring_game(6), **common)
+    second = ensemble_beta_sweep(
+        IsingGame(nx.cycle_graph(6), coupling=2.0), **common
+    )
+    assert first.records[0].extra["provenance"] == "computed"
+    assert second.records[0].extra["provenance"] == "computed", (
+        "a reused tag must not serve one game's cells to another game"
+    )
+
+
+def test_family_sweep_cache_is_keyed_by_name_not_position(tmp_path):
+    game = IsingGame(nx.cycle_graph(5), coupling=1.0)
+    families = {
+        "beta-0.4": lambda g: LogitDynamics(g, 0.4),
+        "beta-0.8": lambda g: LogitDynamics(g, 0.8),
+    }
+    store = ExperimentStore(tmp_path)
+    common = dict(num_replicas=64, max_time=300, seed=6, store=store, store_tag="ring5")
+    first = dynamics_family_sweep(game, families, **common)
+    reordered = dynamics_family_sweep(
+        game, dict(reversed(list(families.items()))), **common
+    )
+    assert all(r.extra["provenance"] == "store" for r in reordered.records)
+    by_name_first = {r.extra["dynamics"]: r for r in first.records}
+    for record in reordered.records:
+        original = by_name_first[record.extra["dynamics"]]
+        assert record.mixing_time == original.mixing_time
+        assert record.extra["mean_welfare"] == original.extra["mean_welfare"]
+    # parameter reflects the *current* sweep order, not the cached one
+    assert [r.parameter for r in reordered.records] == [0.0, 1.0]

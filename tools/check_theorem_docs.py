@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Cross-reference docs/THEOREMS.md against the code it claims to map.
+
+The paper-to-code table is only useful while it is *true*; this checker
+(run by the CI docs job, and locally via
+``PYTHONPATH=src python tools/check_theorem_docs.py``) fails on:
+
+1. **dangling bound references** — a backticked ``theorem*``/``lemma*``
+   name in the doc that is not exported by ``repro.core.bounds.__all__``;
+2. **uncovered bounds** — a ``theorem*``/``lemma*`` callable exported by
+   ``repro.core.bounds`` that the doc never mentions;
+3. **uncovered experiments** — a ``benchmarks/bench_thm*.py`` /
+   ``bench_lem*.py`` file the doc never mentions (every theorem
+   experiment must appear in the table);
+4. **dead file references** — a ``benchmarks/*.py`` / ``tests/*.py`` path
+   mentioned in the doc that does not exist on disk.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "THEOREMS.md"
+BOUND_NAME = re.compile(r"^(theorem|lemma)[0-9][0-9a-z_]*$")
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core import bounds
+
+    text = DOC_PATH.read_text(encoding="utf-8")
+    backticked = set(re.findall(r"`([^`\n]+)`", text))
+    errors: list[str] = []
+
+    exported = set(bounds.__all__)
+    doc_bound_names = {t for t in backticked if BOUND_NAME.match(t)}
+    for name in sorted(doc_bound_names - exported):
+        errors.append(
+            f"dangling reference: `{name}` is cited in THEOREMS.md but is "
+            f"not exported by repro.core.bounds.__all__"
+        )
+
+    exported_bound_names = {n for n in exported if BOUND_NAME.match(n)}
+    for name in sorted(exported_bound_names - doc_bound_names):
+        errors.append(
+            f"uncovered bound: repro.core.bounds.{name} is exported but "
+            f"THEOREMS.md never mentions it"
+        )
+
+    bench_files = sorted(
+        p.name
+        for pattern in ("bench_thm*.py", "bench_lem*.py")
+        for p in (REPO_ROOT / "benchmarks").glob(pattern)
+    )
+    for name in bench_files:
+        if f"benchmarks/{name}" not in text:
+            errors.append(
+                f"uncovered experiment: benchmarks/{name} exists but "
+                f"THEOREMS.md never mentions it"
+            )
+
+    referenced_paths = {
+        token.split("::")[0]
+        for token in backticked
+        if token.startswith(("benchmarks/", "tests/"))
+    }
+    for path in sorted(referenced_paths):
+        if not (REPO_ROOT / path).exists():
+            errors.append(f"dead reference: {path} is cited but does not exist")
+
+    if errors:
+        print(f"THEOREMS.md cross-reference check FAILED ({len(errors)} problems):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(
+        f"THEOREMS.md cross-reference check passed: "
+        f"{len(doc_bound_names)} bound callables, {len(bench_files)} theorem "
+        f"experiments, {len(referenced_paths)} file references verified."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
