@@ -37,6 +37,7 @@ import os
 import networkx as nx
 import numpy as np
 
+from perf_record import record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import empirical_hitting_times
 from repro.games import IsingGame
@@ -121,6 +122,14 @@ def measure_adaptive_savings() -> tuple[list[list[object]], dict[str, float]]:
 def test_adaptive_stopping_pays_for_itself(benchmark):
     rows, savings = benchmark.pedantic(
         measure_adaptive_savings, rounds=1, iterations=1
+    )
+    record_bench_cases(
+        "adaptive_stats",
+        [
+            {"case": f"E-STAT {name}", "n": None, "steps_per_sec": None,
+             "speedup": saved}
+            for name, saved in savings.items()
+        ],
     )
     print()
     print(

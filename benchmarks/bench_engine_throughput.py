@@ -31,6 +31,7 @@ import time
 import networkx as nx
 import numpy as np
 
+from perf_record import record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import LogitDynamics
 from repro.core.logit import logit_update_distribution
@@ -244,6 +245,14 @@ def test_local_game_throughput(benchmark):
     rows, speedups = benchmark.pedantic(
         measure_local_throughputs, rounds=1, iterations=1
     )
+    record_bench_cases(
+        "engine_throughput",
+        [
+            {"case": f"E-ENG-L {name}", "n": None, "steps_per_sec": None,
+             "speedup": speedup}
+            for name, speedup in speedups.items()
+        ],
+    )
     print()
     print(
         render_experiment(
@@ -270,6 +279,14 @@ def test_variant_kernel_throughput(benchmark):
     rows, speedups = benchmark.pedantic(
         measure_variant_throughputs, rounds=1, iterations=1
     )
+    record_bench_cases(
+        "engine_throughput",
+        [
+            {"case": f"E-ENG-V {name}", "n": N, "steps_per_sec": None,
+             "speedup": speedup}
+            for name, speedup in speedups.items()
+        ],
+    )
     print()
     print(
         render_experiment(
@@ -292,6 +309,14 @@ def test_variant_kernel_throughput(benchmark):
 def test_engine_throughput(benchmark):
     # one round: the measurement function already does its own best-of-three
     rows, rates = benchmark.pedantic(measure_throughputs, rounds=1, iterations=1)
+    record_bench_cases(
+        "engine_throughput",
+        [
+            {"case": f"E-ENG {mode}", "n": N, "steps_per_sec": rate,
+             "speedup": rate / rates["loop"]}
+            for mode, rate in rates.items()
+        ],
+    )
     print()
     print(
         render_experiment(

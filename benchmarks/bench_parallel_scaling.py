@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from perf_record import record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import empirical_hitting_times
 from repro.games import IsingGame
@@ -111,6 +112,13 @@ def _warmup_sampler(children) -> np.ndarray:
 def test_process_sharding_speedup(benchmark):
     rows, speedup, serial_samples, process_samples = benchmark.pedantic(
         measure_scaling, rounds=1, iterations=1
+    )
+    record_bench_cases(
+        "parallel_scaling",
+        [
+            {"case": f"E-PAR process x{WORKERS}", "n": N, "workers": WORKERS,
+             "replicas": REPLICAS, "steps_per_sec": None, "speedup": speedup}
+        ],
     )
     cores = os.cpu_count() or 1
     required = MIN_SPEEDUP if cores >= WORKERS else 0.0

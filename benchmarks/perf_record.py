@@ -1,0 +1,77 @@
+"""Machine-readable perf trajectory records for the benchmark smokes.
+
+Every benchmark smoke writes a ``BENCH_<name>.json`` file to the repo root
+via :func:`record_bench_cases` — one record per benchmark, carrying the
+git revision, an ISO-8601 UTC date, and one entry per measured case
+(name, problem size, steps/sec, speedup).  CI uploads the files as build
+artifacts, so the repository accumulates an auditable perf trajectory
+instead of claims that live only in transient assert messages.
+
+Records merge by case name: re-running one case of a benchmark at the
+same git revision updates that case and keeps the others; a new revision
+starts the record fresh (stale numbers from old code never mix with new
+ones).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["record_bench_cases", "git_rev", "REPO_ROOT"]
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def record_bench_cases(name: str, cases: list[dict]) -> Path:
+    """Merge measured cases into ``BENCH_<name>.json`` at the repo root.
+
+    ``cases`` is a list of JSON-serialisable dicts, each with at least a
+    ``"case"`` key (the merge key); conventional fields are ``n``,
+    ``steps_per_sec`` and ``speedup``.  Existing cases from the same git
+    revision are kept (and replaced on name collision); cases recorded at
+    a different revision are dropped, so one file always describes one
+    revision of the code.  Returns the path written.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    rev = git_rev()
+    merged: dict[str, dict] = {}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        if previous.get("git_rev") == rev:
+            for case in previous.get("cases", []):
+                if isinstance(case, dict) and "case" in case:
+                    merged[str(case["case"])] = case
+    for case in cases:
+        merged[str(case["case"])] = case
+    record = {
+        "bench": name,
+        "git_rev": rev,
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "cases": list(merged.values()),
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

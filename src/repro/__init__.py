@@ -118,14 +118,20 @@ from .games import (
 )
 from .engine import (
     AnnealedKernel,
+    ArrayBackend,
     EnsembleSimulator,
+    NumbaBackend,
+    NumpyBackend,
     ParallelKernel,
     RoundRobinKernel,
     SeededSequentialKernel,
     SequentialKernel,
     UpdateKernel,
     maximal_coupling_update_many,
+    numba_available,
+    resolve_backend,
     simulate_grand_coupling_ensemble,
+    strategy_dtype,
 )
 from .graphs import (
     clique_graph,
@@ -238,14 +244,20 @@ __all__ = [
     "random_game",
     # engine
     "AnnealedKernel",
+    "ArrayBackend",
     "EnsembleSimulator",
+    "NumbaBackend",
+    "NumpyBackend",
     "ParallelKernel",
     "RoundRobinKernel",
     "SeededSequentialKernel",
     "SequentialKernel",
     "UpdateKernel",
     "maximal_coupling_update_many",
+    "numba_available",
+    "resolve_backend",
     "simulate_grand_coupling_ensemble",
+    "strategy_dtype",
     # graphs
     "clique_graph",
     "cutwidth_exact",

@@ -40,7 +40,12 @@ Components:
 * :func:`~repro.engine.coupled.simulate_grand_coupling_ensemble` — all
   coupled pairs of the paper's grand coupling advanced simultaneously;
 * :mod:`~repro.engine.sampling` — the shared inverse-CDF primitive that
-  keeps the loop references and the batched paths bit-identical.
+  keeps the loop references and the batched paths bit-identical;
+* :mod:`~repro.engine.backend` — pluggable array/compute backends for the
+  per-step hot path (``backend=`` knob): the default numpy backend is the
+  pre-backend engine bit-for-bit, the numba backend JIT-fuses
+  gather -> deviation -> softmax -> sample into one compiled kernel for
+  local-interaction games (graceful numpy fallback when numba is absent).
 
 Shard-aware seeding: :meth:`SeededSequentialKernel.spawn_block
 <repro.engine.kernels.SeededSequentialKernel.spawn_block>` reconstructs
@@ -51,6 +56,13 @@ with, and the reason pooled results are bit-for-bit invariant to the
 shard count.
 """
 
+from .backend import (
+    ArrayBackend,
+    NumbaBackend,
+    NumpyBackend,
+    numba_available,
+    resolve_backend,
+)
 from .coupled import maximal_coupling_update_many, simulate_grand_coupling_ensemble
 from .ensemble import EnsembleSimulator
 from .kernels import (
@@ -62,13 +74,19 @@ from .kernels import (
     UpdateKernel,
 )
 from .sampling import sample_from_cumulative, sample_inverse_cdf
-from .state import EngineState, IndexState, MatrixState
+from .state import EngineState, IndexState, MatrixState, strategy_dtype
 
 __all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "numba_available",
+    "resolve_backend",
     "EnsembleSimulator",
     "EngineState",
     "IndexState",
     "MatrixState",
+    "strategy_dtype",
     "UpdateKernel",
     "SequentialKernel",
     "SeededSequentialKernel",

@@ -124,7 +124,7 @@ def simulate_grand_coupling_ensemble(
     space = dynamics.game.space
     if not space.fits_int64:
         raise ValueError(
-            f"the profile space has {space.size} profiles (beyond int64); the "
+            f"the profile space has more than 2**63 profiles (beyond int64); the "
             f"grand-coupling ensemble tracks pairs as profile indices and "
             f"cannot run at this size — use the matrix-state "
             f"EnsembleSimulator for large-space Monte Carlo instead"

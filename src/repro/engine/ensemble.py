@@ -57,6 +57,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..games.space import DENSE_PROFILE_CAP
+from .backend import ArrayBackend, resolve_backend
 from .kernels import SeededSequentialKernel, SequentialKernel, UpdateKernel
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 from .state import EngineState, IndexState, MatrixState
@@ -108,9 +109,19 @@ class EnsembleSimulator:
         one-uniformly-random-player-per-step rule.
     state:
         Replica-state backend: ``"index"``, ``"matrix"``, or ``"auto"``
-        (index whenever the profile space fits in int64, matrix beyond).
+        (index whenever the profile space fits in int64, matrix beyond —
+        except that an array backend able to fuse this (game, rule) pair
+        flips the auto choice to matrix so its compiled kernels engage).
         Small-space trajectories are bit-for-bit identical across the two
         backends under a fixed seed.
+    backend:
+        Array/compute backend for the per-step hot path
+        (:mod:`repro.engine.backend`): ``"numpy"`` (default — the existing
+        vectorised path, bit-for-bit identical to the pre-backend engine),
+        ``"numba"`` (JIT-fused step kernels for local-interaction games
+        under softmax rules; falls back to numpy with a one-line warning
+        when numba is not installed), ``"auto"``, or an
+        :class:`~repro.engine.backend.ArrayBackend` instance.
 
     Example
     -------
@@ -142,6 +153,7 @@ class EnsembleSimulator:
         start_indices: np.ndarray | None = None,
         kernel: UpdateKernel | None = None,
         state: str = "auto",
+        backend: str | ArrayBackend | None = "numpy",
     ):
         if num_replicas < 1:
             raise ValueError("need at least one replica")
@@ -157,12 +169,24 @@ class EnsembleSimulator:
         self.space = self.game.space
         self.num_replicas = int(num_replicas)
         self.rng = np.random.default_rng() if rng is None else rng
+        self.backend = resolve_backend(backend)
         if state == "auto":
-            state = "index" if self.space.fits_int64 else "matrix"
+            # fused backend kernels only exist over the strategy matrix, so
+            # a backend that can fuse this (game, rule) pair flips the auto
+            # choice; with the default numpy backend this is the historical
+            # rule (index whenever the space fits int64)
+            state = (
+                "matrix"
+                if (
+                    not self.space.fits_int64
+                    or self.backend.can_fuse(self.game, self.kernel.rule)
+                )
+                else "index"
+            )
         if state == "index":
             self.state: EngineState = IndexState(self.space)
         elif state == "matrix":
-            self.state = MatrixState(self.space)
+            self.state = MatrixState(self.space, backend=self.backend)
         else:
             raise ValueError(f"unknown state backend {state!r}")
         if mode == "auto":
@@ -218,6 +242,16 @@ class EnsembleSimulator:
             and hasattr(rule, "update_distribution_rowwise_at")
         ):
             self._rowwise_rule_at = rule.update_distribution_rowwise_at
+        # Fused backend steppers: a non-numpy backend may compile the whole
+        # gather -> deviation -> softmax -> sample -> write pipeline into a
+        # single kernel over the live strategy matrix.  None (always, for
+        # the numpy backend) means the generic paths above run unchanged.
+        self._fused_rowwise = None
+        self._fused_parallel = None
+        if self.mode == "matrix_free" and self.state.kind == "matrix":
+            self._fused_rowwise = self.backend.fused_rowwise_stepper(self.game, rule)
+            self._fused_parallel = self.backend.fused_parallel_stepper(self.game, rule)
+        self._rows_all = np.arange(self.num_replicas, dtype=np.int64)
         self.reset(start, start_indices=start_indices)
 
     @classmethod
@@ -229,6 +263,7 @@ class EnsembleSimulator:
         start_indices: np.ndarray | None = None,
         mode: str = "auto",
         state: str = "auto",
+        backend: str | ArrayBackend | None = "numpy",
         block_size: int = 256,
     ) -> "EnsembleSimulator":
         """An ensemble with one independent random stream per replica.
@@ -251,6 +286,7 @@ class EnsembleSimulator:
             start_indices=start_indices,
             mode=mode,
             state=state,
+            backend=backend,
             kernel=SeededSequentialKernel(dynamics, seeds, block_size=block_size),
         )
 
@@ -288,10 +324,14 @@ class EnsembleSimulator:
 
     def empirical_distribution(self) -> np.ndarray:
         """Occupation frequencies of the ensemble over profile indices."""
-        if self.space.size > DENSE_PROFILE_CAP:
+        if not self.space.fits_int64 or self.space.size > DENSE_PROFILE_CAP:
+            count = (
+                f"{self.space.size}" if self.space.fits_int64
+                else "more than 2**63"
+            )
             raise ValueError(
                 "empirical_distribution materialises a (|S|,) histogram; the "
-                f"profile space has {self.space.size} profiles — use "
+                f"profile space has {count} profiles — use "
                 f"empirical_distribution_sparse (occupied indices + counts) "
                 f"or empirical_profile_counts (occupied profiles + counts)"
             )
@@ -370,6 +410,14 @@ class EnsembleSimulator:
         """
         state = self.state
         if players.size > 1:
+            if self._fused_rowwise is not None:
+                beta = (
+                    getattr(self.dynamics, "beta", None) if at_beta is None else at_beta
+                )
+                if beta is not None:
+                    rows = self._rows_all if where is None else where
+                    self._fused_rowwise(state.matrix, rows, players, uniforms, beta)
+                    return
             rowwise = self._rowwise_rule if at_beta is None else self._rowwise_rule_at
             if rowwise is not None:
                 batch = state.rowwise_view(where)

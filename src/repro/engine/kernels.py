@@ -330,6 +330,16 @@ class ParallelKernel(UpdateKernel):
     def step(self, sim, where: np.ndarray | None = None) -> None:
         state = sim.state
         n = sim.space.num_players
+        fused = getattr(sim, "_fused_parallel", None)
+        beta = getattr(sim.dynamics, "beta", None)
+        if fused is not None and beta is not None:
+            # one compiled pass: same uniform block (n per replica, player
+            # order), same old-profile semantics, no per-player temporaries
+            old = state.take(where)
+            uniforms = sim.rng.random((old.shape[0], n))
+            rows = sim._rows_all if where is None else where
+            fused(state.matrix, rows, old, uniforms, beta)
+            return
         old = state.take(where)
         uniforms = sim.rng.random((old.shape[0], n))
         new = old.copy()

@@ -18,7 +18,9 @@ __all__ = ["sample_from_cumulative", "sample_inverse_cdf"]
 
 
 def sample_from_cumulative(
-    cumulative: np.ndarray, uniforms: np.ndarray | float
+    cumulative: np.ndarray,
+    uniforms: np.ndarray | float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray | int:
     """Inverse-CDF sample(s) given precomputed cumulative sums.
 
@@ -30,17 +32,23 @@ def sample_from_cumulative(
     uniforms:
         A scalar for the 1-D case, a ``(k,)`` array matched row-by-row for
         the 2-D case.
+    out:
+        Optional ``(k,)`` int64 buffer for the 2-D case — steady-state
+        stepping loops pass a reused scratch array so sampling allocates
+        nothing.  Ignored (and rejected) for the 1-D case.
 
     Returns
     -------
     The chosen category per distribution: an int for the 1-D case, an
-    ``(k,)`` int64 array for the 2-D case.  Matches
+    ``(k,)`` int64 array (``out`` if given) for the 2-D case.  Matches
     ``np.searchsorted(cumulative, u, side="right")`` clamped to the last
     category, which tolerates cumulative sums that fall short of 1.0 by
     round-off.
     """
     cum = np.asarray(cumulative, dtype=float)
     if cum.ndim == 1:
+        if out is not None:
+            raise ValueError("out= is only supported for the 2-D batched case")
         s = int(np.searchsorted(cum, float(uniforms), side="right"))
         return min(s, cum.size - 1)
     if cum.ndim != 2:
@@ -51,8 +59,17 @@ def sample_from_cumulative(
             f"uniforms must have shape ({cum.shape[0]},), got {u.shape}"
         )
     # Per-row count of entries <= u — identical to searchsorted side="right".
-    s = np.sum(cum <= u[:, None], axis=1)
-    return np.minimum(s, cum.shape[1] - 1).astype(np.int64)
+    if out is None:
+        s = np.sum(cum <= u[:, None], axis=1)
+        return np.minimum(s, cum.shape[1] - 1).astype(np.int64)
+    if out.shape != (cum.shape[0],) or out.dtype != np.int64:
+        raise ValueError(
+            f"out must be an int64 array of shape ({cum.shape[0]},), got "
+            f"{out.dtype} {out.shape}"
+        )
+    np.sum(cum <= u[:, None], axis=1, out=out)
+    np.minimum(out, cum.shape[1] - 1, out=out)
+    return out
 
 
 def sample_inverse_cdf(

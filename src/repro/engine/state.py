@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from ..games.space import _INT64_MAX, ProfileSpace
+from .backend import ArrayBackend, resolve_backend
 
 __all__ = ["EngineState", "IndexState", "MatrixState", "strategy_dtype"]
 
@@ -43,16 +44,20 @@ __all__ = ["EngineState", "IndexState", "MatrixState", "strategy_dtype"]
 def strategy_dtype(space: ProfileSpace) -> np.dtype:
     """Smallest signed integer dtype holding every stored strategy value.
 
-    Strategies range over ``0 .. m-1``, so int8 covers up to 128 strategies.
+    Strategies range over ``0 .. m-1``, so int8 covers up to 128 strategies
+    (``top == 127``), int16 up to 32768, and so on.  The promotion is an
+    explicit boundary walk with a final overflow guard — the matrix state
+    must never rely on numpy's silent casting rules to decide whether a
+    strategy value survives the round-trip through its storage dtype.
     """
     top = space.max_strategies - 1
-    if top <= np.iinfo(np.int8).max:
-        return np.dtype(np.int8)
-    if top <= np.iinfo(np.int16).max:
-        return np.dtype(np.int16)
-    if top <= np.iinfo(np.int32).max:
-        return np.dtype(np.int32)
-    return np.dtype(np.int64)
+    for candidate in (np.int8, np.int16, np.int32, np.int64):
+        if top <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise ValueError(
+        f"per-player strategy count {space.max_strategies} exceeds the int64 "
+        f"strategy-matrix storage range"
+    )
 
 
 class EngineState(abc.ABC):
@@ -233,10 +238,10 @@ class IndexState(EngineState):
 
     def __init__(self, space: ProfileSpace):
         super().__init__(space)
-        if space.size > _INT64_MAX:
+        if not space.fits_int64:
             raise ValueError(
-                f"the profile space has {space.size} profiles, which does not "
-                f"fit in an int64 profile index; the index state backend "
+                f"the profile space has more than 2**63 profiles, which does "
+                f"not fit in an int64 profile index; the index state backend "
                 f"cannot represent it — build the simulator with "
                 f"state='matrix' (per-replica strategy rows, no profile "
                 f"indices anywhere on the stepping path)"
@@ -311,10 +316,25 @@ class MatrixState(EngineState):
 
     kind = "matrix"
 
-    def __init__(self, space: ProfileSpace):
+    def __init__(
+        self, space: ProfileSpace, backend: str | ArrayBackend | None = "numpy"
+    ):
         super().__init__(space)
+        #: the array backend this state's hot path executes on; the numpy
+        #: default is the pre-backend engine bit-for-bit (the simulator
+        #: consults this when wiring its fused steppers)
+        self.backend = resolve_backend(backend)
         self._dtype = strategy_dtype(space)
         self._matrix = np.zeros((0, space.num_players), dtype=self._dtype)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The live ``(R, n)`` strategy matrix (a view, not a copy).
+
+        Fused backend kernels mutate this in place; everything else should
+        go through :meth:`profiles_at` / :meth:`snapshot`, which copy.
+        """
+        return self._matrix
 
     def init(self, num_replicas, start, start_indices) -> None:
         kind, value = self._parse_start(num_replicas, start, start_indices)
@@ -383,9 +403,9 @@ class MatrixState(EngineState):
             self._matrix[where, players] = strategies
 
     def indices_at(self, where):
-        if self.space.size > _INT64_MAX:
+        if not self.space.fits_int64:
             raise ValueError(
-                f"the profile space has {self.space.size} profiles, which does "
+                f"the profile space has more than 2**63 profiles, which does "
                 f"not fit in int64, so profile *indices* do not exist for this "
                 f"state; use profile-row observables instead (profiles, "
                 f"profiles_at, empirical_profile_counts, or a profile "

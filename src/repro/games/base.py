@@ -120,7 +120,7 @@ class Game(abc.ABC):
             raise ValueError(
                 f"the generic utility_deviations_profiles fallback encodes "
                 f"profile rows to indices, but the profile space has "
-                f"{self.space.size} profiles (beyond int64); "
+                f"more than 2**63 profiles (beyond int64); "
                 f"{type(self).__name__} must override "
                 f"utility_deviations_profiles with an index-free computation "
                 f"to simulate at this size (see "

@@ -84,6 +84,79 @@ def _edge_potential_consistent(
     return bool(np.allclose(du, dp, atol=tol))
 
 
+#: rtol of np.isclose — the stack helpers below replicate np.allclose
+#: elementwise so that their per-edge verdicts match the scalar helpers
+_ISCLOSE_RTOL = 1e-5
+
+
+def _derive_edge_potential_stack(payoffs: np.ndarray) -> np.ndarray:
+    """:func:`derive_edge_potential`'s candidate for a whole ``(E, m, m)`` stack.
+
+    Same path integration, same float-op order per edge — one vectorised
+    pass instead of an ``O(E)`` Python loop, which is what keeps
+    construction of million-edge games in milliseconds.  Candidates are
+    *not* verified here; pair with :func:`_edge_potential_consistent_stack`.
+    """
+    M = payoffs
+    return M[:, 0, 0][:, None, None] - M[:, :, 0][:, None, :] + M[:, 0, :][:, None, :] - M
+
+
+def _edge_potential_consistent_stack(
+    payoffs: np.ndarray, potentials: np.ndarray, tol: float = 1e-9
+) -> np.ndarray:
+    """Per-edge Equation (1) verdicts for whole stacks: an ``(E,)`` bool array."""
+    M = np.asarray(payoffs, dtype=float)
+    P = np.asarray(potentials, dtype=float)
+
+    def close(a, b):
+        return np.abs(a - b) <= tol + _ISCLOSE_RTOL * np.abs(b)
+
+    Pt = P.transpose(0, 2, 1)
+    sym = np.all(close(P, Pt), axis=(1, 2))
+    du = M[:, :, None, :] - M[:, None, :, :]  # (e, a, b, t) -> M[a,t] - M[b,t]
+    dp = P[:, None, :, :] - P[:, :, None, :]  # (e, a, b, t) -> P[b,t] - P[a,t]
+    return sym & np.all(close(du, dp), axis=(1, 2, 3))
+
+
+class _RowwiseScratch:
+    """Reusable buffers for one row-wise deviation batch of ``k`` movers.
+
+    Steady-state stepping calls :meth:`LocalInteractionGame.
+    utility_deviations_rowwise` once per step with the same batch size, so
+    every intermediate of the padded gather lives here and is reused —
+    the hot path allocates nothing after the first step.  Buffers are laid
+    out slot-major (``(D, k)``: padding slot first) so that the per-slot
+    gathers are contiguous writes and the final per-strategy reduction runs
+    over the leading axis — numpy accumulates leading-axis reductions
+    sequentially, which keeps the summation order (and hence the floats)
+    identical to the pre-scratch implementation for every degree.
+    """
+
+    def __init__(self, k: int, D: int, n: int, m: int):
+        self.k = k
+        shape = (D, k)
+        self.nbr = np.empty(shape, dtype=np.int64)
+        self.eid = np.empty(shape, dtype=np.int64)
+        self.base = np.empty(shape, dtype=np.int64)
+        self.flat = np.empty(shape, dtype=np.int64)
+        self.strat = np.empty(shape, dtype=np.int64)
+        self.mask = np.empty(shape, dtype=float)
+        self.pick = np.empty(shape, dtype=float)
+        self.util = np.empty((k, m), dtype=float)
+        self.field = np.empty((k, m), dtype=float)
+        #: row start of each profile row in the flattened (k, n) matrix
+        self.row_offsets = (np.arange(k, dtype=np.int64) * n)[None, :]
+        self._strat_raw: dict[np.dtype, np.ndarray] = {}
+
+    def strat_raw(self, dtype: np.dtype) -> np.ndarray:
+        """Gather buffer matching the profile matrix dtype (int8/int16/...)."""
+        buf = self._strat_raw.get(dtype)
+        if buf is None:
+            buf = np.empty(self.nbr.shape, dtype=dtype)
+            self._strat_raw[dtype] = buf
+        return buf
+
+
 class LocalInteractionGame(PotentialGame):
     """Game on a social graph with per-edge payoff matrices.
 
@@ -133,31 +206,30 @@ class LocalInteractionGame(PotentialGame):
         n = self.graph.number_of_nodes()
         self.space = ProfileSpace((m,) * n)
 
-        edges = [(int(u), int(v)) for u, v in self.graph.edges()]
-        self._edge_u = np.array([u for u, _ in edges], dtype=np.int64)
-        self._edge_v = np.array([v for _, v in edges], dtype=np.int64)
+        if self.graph.number_of_edges():
+            edges = np.asarray(self.graph.edges(), dtype=np.int64)
+        else:
+            edges = np.zeros((0, 2), dtype=np.int64)
+        self._edge_u = np.ascontiguousarray(edges[:, 0])
+        self._edge_v = np.ascontiguousarray(edges[:, 1])
         self._edge_payoffs = self._edge_matrix_array(edge_payoffs, edges, m, "edge_payoffs")
 
         if edge_potentials is not None:
             pots = self._edge_matrix_array(edge_potentials, edges, m, "edge_potentials")
-            for e in range(len(edges)):
-                if not _edge_potential_consistent(self._edge_payoffs[e], pots[e]):
-                    raise ValueError(
-                        f"edge_potentials for edge {edges[e]} do not satisfy "
-                        f"Equation (1) against the edge payoffs (or are not "
-                        f"symmetric)"
-                    )
+            ok = _edge_potential_consistent_stack(self._edge_payoffs, pots)
+            if not ok.all():
+                bad = int(np.flatnonzero(~ok)[0])
+                raise ValueError(
+                    f"edge_potentials for edge "
+                    f"{(int(edges[bad, 0]), int(edges[bad, 1]))} do not satisfy "
+                    f"Equation (1) against the edge payoffs (or are not "
+                    f"symmetric)"
+                )
             self._edge_potentials: np.ndarray | None = pots
         else:
-            derived = np.empty_like(self._edge_payoffs)
-            ok = True
-            for e in range(len(edges)):
-                P = derive_edge_potential(self._edge_payoffs[e])
-                if P is None:
-                    ok = False
-                    break
-                derived[e] = P
-            self._edge_potentials = derived if ok else None
+            derived = _derive_edge_potential_stack(self._edge_payoffs)
+            ok = _edge_potential_consistent_stack(self._edge_payoffs, derived)
+            self._edge_potentials = derived if bool(ok.all()) else None
 
         field = np.zeros((n, m), dtype=float) if external_field is None else (
             np.asarray(external_field, dtype=float)
@@ -173,24 +245,22 @@ class LocalInteractionGame(PotentialGame):
         # CSR adjacency: per player, the neighbor ids and the row of the
         # edge-matrix stack to read (the symmetric-role convention means
         # both endpoints read the same matrix, own strategy as the row).
-        degrees = np.zeros(n, dtype=np.int64)
-        for u, v in edges:
-            degrees[u] += 1
-            degrees[v] += 1
+        # Built fully vectorised — graphs with 10^6 nodes construct in
+        # milliseconds, not in a per-edge Python loop.  The stable lexsort
+        # (endpoint first, edge id second) reproduces the cursor-fill order
+        # exactly: within a player, CSR entries are ordered by edge id.
+        E = len(edges)
+        eids = np.concatenate([np.arange(E, dtype=np.int64)] * 2)
+        endpoints = np.concatenate([self._edge_u, self._edge_v])
+        partners = np.concatenate([self._edge_v, self._edge_u])
+        degrees = np.bincount(endpoints, minlength=n)
         self._nbr_offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(degrees)]
         )
         total = int(self._nbr_offsets[-1])
-        self._nbr = np.zeros(total, dtype=np.int64)
-        self._nbr_edge = np.zeros(total, dtype=np.int64)
-        cursor = self._nbr_offsets[:-1].copy()
-        for e, (u, v) in enumerate(edges):
-            self._nbr[cursor[u]] = v
-            self._nbr_edge[cursor[u]] = e
-            cursor[u] += 1
-            self._nbr[cursor[v]] = u
-            self._nbr_edge[cursor[v]] = e
-            cursor[v] += 1
+        order = np.lexsort((eids, endpoints))
+        self._nbr = partners[order]
+        self._nbr_edge = eids[order]
         # Padded (dense) adjacency for the row-wise engine fast path: row i
         # lists player i's neighbors / edge rows padded to the max degree,
         # with a 0/1 mask.  Padding entries point at node 0 / edge 0 and are
@@ -200,22 +270,31 @@ class LocalInteractionGame(PotentialGame):
         self._pad_nbr = np.zeros((n, D), dtype=np.int64)
         self._pad_edge = np.zeros((n, D), dtype=np.int64)
         self._pad_mask = np.zeros((n, D), dtype=float)
-        for i in range(n):
-            lo, hi = self._nbr_offsets[i], self._nbr_offsets[i + 1]
-            deg = int(hi - lo)
-            self._pad_nbr[i, :deg] = self._nbr[lo:hi]
-            self._pad_edge[i, :deg] = self._nbr_edge[lo:hi]
-            self._pad_mask[i, :deg] = 1.0
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        pos = np.arange(total, dtype=np.int64) - np.repeat(
+            self._nbr_offsets[:-1], degrees
+        )
+        self._pad_nbr[rows, pos] = self._nbr
+        self._pad_edge[rows, pos] = self._nbr_edge
+        self._pad_mask[rows, pos] = 1.0
+        # Transposed (D, n) copies: the row-wise scratch path gathers per
+        # padding slot, so slot-major layout keeps every np.take contiguous.
+        self._pad_nbr_t = np.ascontiguousarray(self._pad_nbr.T)
+        self._pad_edge_t = np.ascontiguousarray(self._pad_edge.T)
+        self._pad_mask_t = np.ascontiguousarray(self._pad_mask.T)
+        self._edge_payoffs_flat = self._edge_payoffs.reshape(-1)
+        self._rowwise_scratch: _RowwiseScratch | None = None
         self._potential_cache: np.ndarray | None = None
 
     @staticmethod
     def _edge_matrix_array(
-        spec, edges: list[tuple[int, int]], m: int, what: str
+        spec, edges: np.ndarray, m: int, what: str
     ) -> np.ndarray:
         """Materialise the ``(E, m, m)`` per-edge matrix stack from a spec."""
         out = np.empty((len(edges), m, m), dtype=float)
         if isinstance(spec, Mapping):
             for e, (u, v) in enumerate(edges):
+                u, v = int(u), int(v)
                 if (u, v) in spec:
                     mat = spec[(u, v)]
                 elif (v, u) in spec:
@@ -271,6 +350,28 @@ class LocalInteractionGame(PotentialGame):
     def num_edges(self) -> int:
         """Number of edges of the social graph."""
         return int(self._edge_u.size)
+
+    def csr_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The game's CSR local structure, for fused backend kernels.
+
+        Returns ``(offsets, neighbors, neighbor_edge, edge_payoffs, field)``:
+        player ``i``'s neighbors are ``neighbors[offsets[i]:offsets[i+1]]``,
+        each contributing ``edge_payoffs[neighbor_edge[d], s, t]`` to the
+        deviation utility of strategy ``s`` when the neighbor plays ``t``,
+        plus the per-player external field ``field[i, s]``.  This accessor
+        *is* the contract that makes a game fusable by the engine's array
+        backends (:mod:`repro.engine.backend`); the arrays are the live
+        internals, not copies — callers must treat them as read-only.
+        """
+        return (
+            self._nbr_offsets,
+            self._nbr,
+            self._nbr_edge,
+            self._edge_payoffs,
+            self._field,
+        )
 
     def neighbors_of(self, player: int) -> np.ndarray:
         """Neighbor player ids of ``player`` (read-only view)."""
@@ -345,29 +446,60 @@ class LocalInteractionGame(PotentialGame):
         Only games with a uniform strategy count per player can offer this
         (all rows share the ``m`` axis) — which local-interaction games do
         by construction.
+
+        The returned ``(k, m)`` array is a reusable per-game scratch buffer
+        (:class:`_RowwiseScratch`) — steady-state stepping is allocation-
+        free, and the values are only valid until the next call; copy them
+        to keep them across steps.
         """
         p = np.asarray(players, dtype=np.int64)
         prof = np.asarray(profiles)
         k = p.shape[0]
-        if prof.shape != (k, self.space.num_players):
+        n = self.space.num_players
+        if prof.shape != (k, n):
             raise ValueError(
-                f"profiles must have shape ({k}, {self.space.num_players}), "
-                f"got {prof.shape}"
+                f"profiles must have shape ({k}, {n}), got {prof.shape}"
             )
         if self.num_edges == 0:
             # nothing to gather (padding would index an empty edge stack)
             return self._field[p]
-        m = self.space.num_strategies[0]
-        nbrs = self._pad_nbr[p]  # (k, D)
-        strat = np.take_along_axis(prof, nbrs, axis=1).astype(np.int64, copy=False)
-        eid = self._pad_edge[p]  # (k, D)
-        # picked[j, d, s] = edge_payoffs[eid[j, d], s, strat[j, d]]
-        picked = self._edge_payoffs[
-            eid[:, :, None], np.arange(m)[None, None, :], strat[:, :, None]
-        ]  # (k, D, m)
-        utilities = (picked * self._pad_mask[p][:, :, None]).sum(axis=1)
-        utilities += self._field[p]
-        return utilities
+        m = int(self.space.num_strategies[0])
+        s = self._rowwise_scratch
+        if s is None or s.k != k:
+            s = self._rowwise_scratch = _RowwiseScratch(
+                k, self._pad_nbr.shape[1], n, m
+            )
+        # slot-major gathers of the movers' padded adjacency rows
+        np.take(self._pad_nbr_t, p, axis=1, out=s.nbr)
+        np.take(self._pad_edge_t, p, axis=1, out=s.eid)
+        np.take(self._pad_mask_t, p, axis=1, out=s.mask)
+        # neighbor strategies: strat[d, j] = prof[j, nbr[d, j]], gathered
+        # through the flattened profile matrix (upcast through a dtype-
+        # matched raw buffer when the engine hands int8/int16 rows)
+        np.add(s.nbr, s.row_offsets, out=s.flat)
+        flat_prof = prof.ravel()
+        if prof.dtype == np.int64:
+            np.take(flat_prof, s.flat, out=s.strat)
+        else:
+            raw = s.strat_raw(prof.dtype)
+            np.take(flat_prof, s.flat, out=raw)
+            np.copyto(s.strat, raw)
+        # flat payoff index of (edge, s, neighbor strategy) is
+        # e*m*m + s*m + t; base holds the s = 0 plane
+        np.multiply(s.eid, m * m, out=s.base)
+        np.add(s.base, s.strat, out=s.base)
+        for strategy in range(m):
+            # pick[d, j] = edge_payoffs[eid[d, j], strategy, strat[d, j]]
+            np.add(s.base, strategy * m, out=s.flat)
+            np.take(self._edge_payoffs_flat, s.flat, out=s.pick)
+            np.multiply(s.pick, s.mask, out=s.pick)
+            np.sum(s.pick, axis=0, out=s.util[:, strategy])
+        np.take(self._field, p, axis=0, out=s.field)
+        np.add(s.util, s.field, out=s.util)
+        # the returned buffer is reused by the next call — callers that keep
+        # utilities across steps must copy (the engine consumes them
+        # immediately into softmax rows, so the hot path never does)
+        return s.util
 
     def utilities_of_profiles(self, player: int, profiles: np.ndarray) -> np.ndarray:
         """``(k,)`` realised utilities of ``player`` at ``(k, n)`` profile rows."""

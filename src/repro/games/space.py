@@ -63,8 +63,9 @@ class ProfileSpace:
     """
 
     num_strategies: tuple[int, ...]
-    _radices: np.ndarray = field(init=False, repr=False, compare=False)
-    _size: int = field(init=False, repr=False, compare=False)
+    _fits_int64: bool = field(init=False, repr=False, compare=False)
+    _radices_cache: np.ndarray | None = field(init=False, repr=False, compare=False)
+    _size_cache: int | None = field(init=False, repr=False, compare=False)
 
     def __init__(self, num_strategies: Iterable[int]):
         ms = tuple(int(m) for m in num_strategies)
@@ -73,22 +74,47 @@ class ProfileSpace:
         if any(m < 1 for m in ms):
             raise ValueError(f"every player needs at least one strategy, got {ms}")
         object.__setattr__(self, "num_strategies", ms)
-        # Exact Python-int product: np.prod would silently wrap around int64
-        # for very large spaces (e.g. 3**50 players*strategies combinations).
-        size = math.prod(ms)
-        object.__setattr__(self, "_size", size)
-        if size <= _INT64_MAX:
+        # Exact Python-int product, capped: np.prod would silently wrap
+        # around int64 (e.g. 3**50), while the *full* exact product of a
+        # million binary players is a million-bit integer whose radix
+        # ladder costs quadratic bignum time and memory — so construction
+        # only decides `fits_int64` (early exit at the first crossing) and
+        # the exact big size/radices materialise lazily on first use.
+        size = 1
+        for m in ms:
+            size *= m
+            if size > _INT64_MAX:
+                break
+        fits = size <= _INT64_MAX
+        object.__setattr__(self, "_fits_int64", fits)
+        if fits:
             radices = np.ones(len(ms), dtype=np.int64)
             for i in range(1, len(ms)):
                 radices[i] = radices[i - 1] * ms[i - 1]
+            object.__setattr__(self, "_size_cache", size)
+            object.__setattr__(self, "_radices_cache", radices)
         else:
+            object.__setattr__(self, "_size_cache", None)
+            object.__setattr__(self, "_radices_cache", None)
+
+    @property
+    def _size(self) -> int:
+        if self._size_cache is None:
+            object.__setattr__(self, "_size_cache", math.prod(self.num_strategies))
+        return self._size_cache
+
+    @property
+    def _radices(self) -> np.ndarray:
+        if self._radices_cache is None:
             # Exact Python-int radices: scalar encode/decode keep working,
             # the vectorised int64 paths raise a clear error instead.
             values: list[int] = [1]
-            for i in range(1, len(ms)):
-                values.append(values[-1] * ms[i - 1])
-            radices = np.array(values, dtype=object)
-        object.__setattr__(self, "_radices", radices)
+            for m in self.num_strategies[:-1]:
+                values.append(values[-1] * m)
+            object.__setattr__(
+                self, "_radices_cache", np.array(values, dtype=object)
+            )
+        return self._radices_cache
 
     # -- basic shape ------------------------------------------------------
 
@@ -117,7 +143,7 @@ class ProfileSpace:
         (the engine's matrix state backend and the profile-row game
         methods).
         """
-        return self._size <= _INT64_MAX
+        return self._fits_int64
 
     @property
     def radices(self) -> np.ndarray:
@@ -370,20 +396,25 @@ class ProfileSpace:
             raise ValueError(f"player {player} out of range [0, {self.num_players})")
 
     def _require_int64(self, what: str) -> None:
-        if self._size > _INT64_MAX:
+        # never materialise (or decimal-format) the exact big size here:
+        # at 10^6 binary players it is a million-bit integer
+        if not self._fits_int64:
             raise ValueError(
-                f"profile space has {self._size} profiles, which does not fit in "
-                f"int64; {what} needs vectorised int64 profile indices — for "
-                f"spaces this large work with strategy-profile rows instead "
-                f"(the engine's state='matrix' backend and the profile-row "
-                f"game methods such as utility_deviations_profiles), or use "
-                f"the scalar encode/decode methods"
+                f"profile space has more than 2**63 profiles, which does not "
+                f"fit in int64; {what} needs vectorised int64 profile indices "
+                f"— for spaces this large work with strategy-profile rows "
+                f"instead (the engine's state='matrix' backend and the "
+                f"profile-row game methods such as "
+                f"utility_deviations_profiles), or use the scalar "
+                f"encode/decode methods"
             )
 
     def _require_dense(self, what: str) -> None:
-        if self._size > DENSE_PROFILE_CAP:
-            raise ValueError(
-                f"profile space has {self._size} profiles; {what} materialises "
-                f"O(|S|) arrays and is capped at {DENSE_PROFILE_CAP} profiles — "
-                f"use the matrix-free simulation engine (repro.engine) instead"
-            )
+        if self._fits_int64 and self._size <= DENSE_PROFILE_CAP:
+            return
+        count = f"{self._size}" if self._fits_int64 else "more than 2**63"
+        raise ValueError(
+            f"profile space has {count} profiles; {what} materialises "
+            f"O(|S|) arrays and is capped at {DENSE_PROFILE_CAP} profiles — "
+            f"use the matrix-free simulation engine (repro.engine) instead"
+        )

@@ -13,6 +13,7 @@ from .topologies import (
     erdos_renyi_graph,
     grid_graph,
     path_graph,
+    preferential_attachment_graph,
     random_regular_graph,
     ring_graph,
     star_graph,
@@ -30,6 +31,7 @@ __all__ = [
     "erdos_renyi_graph",
     "grid_graph",
     "path_graph",
+    "preferential_attachment_graph",
     "random_regular_graph",
     "ring_graph",
     "star_graph",

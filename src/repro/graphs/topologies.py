@@ -21,6 +21,7 @@ __all__ = [
     "binary_tree_graph",
     "erdos_renyi_graph",
     "random_regular_graph",
+    "preferential_attachment_graph",
 ]
 
 
@@ -110,3 +111,22 @@ def random_regular_graph(
     rng = np.random.default_rng() if rng is None else rng
     seed = int(rng.integers(0, 2**31 - 1))
     return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def preferential_attachment_graph(
+    num_nodes: int, attachments: int = 2, rng: np.random.Generator | None = None
+) -> nx.Graph:
+    """Barabási–Albert preferential-attachment graph (power-law degrees).
+
+    Each arriving node attaches to ``attachments`` existing nodes with
+    probability proportional to their degree — the standard generator for
+    the heavy-tailed social graphs the local-interaction follow-up papers
+    target ("millions of users").  Connected by construction.
+    """
+    if num_nodes < 2:
+        raise ValueError("a preferential-attachment graph needs at least 2 nodes")
+    if not 1 <= attachments < num_nodes:
+        raise ValueError("attachments must satisfy 1 <= attachments < num_nodes")
+    rng = np.random.default_rng() if rng is None else rng
+    seed = int(rng.integers(0, 2**31 - 1))
+    return nx.barabasi_albert_graph(num_nodes, attachments, seed=seed)

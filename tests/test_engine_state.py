@@ -28,8 +28,9 @@ from repro.core.variants import (
     ParallelLogitDynamics,
     RoundRobinLogitDynamics,
 )
-from repro.engine import EnsembleSimulator, IndexState, MatrixState
+from repro.engine import EnsembleSimulator, IndexState, MatrixState, strategy_dtype
 from repro.games import IsingGame, LocalInteractionGame, SingletonCongestionGame
+from repro.games.space import ProfileSpace
 
 BIG_N = 1000
 
@@ -335,6 +336,49 @@ class TestInt64Boundaries:
             simulate_grand_coupling_ensemble(
                 dynamics, (0,) * 70, (1,) * 70, horizon=10, num_runs=2
             )
+
+
+class TestStrategyDtypeBoundaries:
+    """Strategy storage must promote exactly at the signed-integer edges.
+
+    Strategies are values ``0 .. m-1``, so ``m`` strategies fit int8 up to
+    ``m == 128`` (top value 127) and int16 up to ``m == 32768`` — off-by-one
+    promotion here would silently wrap the top strategy values.
+    """
+
+    @pytest.mark.parametrize(
+        "num_strategies, expected",
+        [
+            (2, np.int8),
+            (127, np.int8),
+            (128, np.int8),  # top value 127 == int8 max: still fits
+            (129, np.int16),  # top value 128 would wrap int8
+            (32768, np.int16),  # top value 32767 == int16 max
+            (32769, np.int32),
+            (2**31, np.int32),
+            (2**31 + 1, np.int64),
+        ],
+    )
+    def test_promotion_boundaries(self, num_strategies, expected):
+        space = ProfileSpace((num_strategies, 2))
+        assert strategy_dtype(space) == np.dtype(expected)
+
+    def test_overflow_past_int64_raises(self):
+        space = ProfileSpace((2**63 + 1, 2))  # exact Python-int radices
+        with pytest.raises(ValueError, match="int64"):
+            strategy_dtype(space)
+
+    @pytest.mark.parametrize("num_strategies", [128, 129, 32768, 32769])
+    def test_top_strategy_survives_storage_roundtrip(self, num_strategies):
+        space = ProfileSpace((num_strategies, 2))
+        state = MatrixState(space)
+        top = np.array([num_strategies - 1, 1], dtype=np.int64)
+        state.init(3, top, None)
+        profiles = state.profiles_at(None)
+        assert profiles.dtype == strategy_dtype(space)
+        np.testing.assert_array_equal(
+            np.asarray(profiles, dtype=np.int64), np.tile(top, (3, 1))
+        )
 
 
 class TestLargeScaleAcceptance:

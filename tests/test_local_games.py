@@ -110,6 +110,32 @@ class TestUtilityPaths:
                 )[0],
             )
 
+    def test_rowwise_reuses_scratch_allocation_free(self, game, rng):
+        # perf regression guard: the padded-gather scratch must be hoisted
+        # into a per-state buffer — repeat same-batch-size calls return the
+        # same (reused) array object, with values identical to a fresh
+        # compute.  Callers consume the result before the next step, so
+        # aliasing is part of the documented contract.
+        k = 17
+        players = rng.integers(0, game.num_players, size=k)
+        profiles = game.space.decode_many(rng.integers(0, game.space.size, size=k))
+        first = game.utility_deviations_rowwise(players, profiles)
+        expected = first.copy()
+        players2 = rng.integers(0, game.num_players, size=k)
+        profiles2 = game.space.decode_many(
+            rng.integers(0, game.space.size, size=k)
+        )
+        second = game.utility_deviations_rowwise(players2, profiles2)
+        assert second is first  # scratch reused, not reallocated
+        third = game.utility_deviations_rowwise(players, profiles)
+        np.testing.assert_array_equal(third, expected)
+        # int8 strategy rows (what MatrixState stores) hit the same scratch
+        fourth = game.utility_deviations_rowwise(
+            players, profiles.astype(np.int8)
+        )
+        assert fourth is first
+        np.testing.assert_array_equal(fourth, expected)
+
     def test_utility_profile_many_matches_scalar(self, game, rng):
         idx = rng.integers(0, game.space.size, size=9)
         bulk = game.utility_profile_many(idx)
