@@ -60,6 +60,7 @@ from .analysis import (
 from .core import (
     AnnealedLogitDynamics,
     BestResponseDynamics,
+    ConcurrentLogitDynamics,
     EnsembleMixingEstimate,
     LogitDynamics,
     ParallelLogitDynamics,
@@ -76,6 +77,8 @@ from .core import (
     lemma32_relaxation_upper,
     lemma33_relaxation_upper,
     lemma37_relaxation_upper,
+    lemma1207_doubled_potential,
+    lemma1207_update_rate_lower,
     logit_update_distribution,
     measure_mixing_time,
     measure_mixing_with_bounds,
@@ -96,6 +99,10 @@ from .core import (
     theorem55_clique_bounds,
     theorem56_ring_mixing_upper,
     theorem57_ring_mixing_lower,
+    theorem1207_beta_threshold,
+    theorem1207_mixing_lower,
+    theorem1207_mixing_upper,
+    theorem1207_stationary_product,
 )
 from .games import (
     AnonymousDominantGame,
@@ -188,6 +195,7 @@ __all__ = [
     # core
     "AnnealedLogitDynamics",
     "BestResponseDynamics",
+    "ConcurrentLogitDynamics",
     "EnsembleMixingEstimate",
     "LogitDynamics",
     "ParallelLogitDynamics",
@@ -204,6 +212,8 @@ __all__ = [
     "lemma32_relaxation_upper",
     "lemma33_relaxation_upper",
     "lemma37_relaxation_upper",
+    "lemma1207_doubled_potential",
+    "lemma1207_update_rate_lower",
     "logit_update_distribution",
     "measure_mixing_time",
     "measure_mixing_with_bounds",
@@ -224,6 +234,10 @@ __all__ = [
     "theorem55_clique_bounds",
     "theorem56_ring_mixing_upper",
     "theorem57_ring_mixing_lower",
+    "theorem1207_beta_threshold",
+    "theorem1207_mixing_lower",
+    "theorem1207_mixing_upper",
+    "theorem1207_stationary_product",
     # games
     "AnonymousDominantGame",
     "CoordinationParams",

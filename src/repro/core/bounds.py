@@ -44,6 +44,12 @@ __all__ = [
     "theorem56_ring_mixing_upper",
     "theorem57_ring_mixing_lower",
     "relaxation_to_mixing_upper",
+    "lemma1207_doubled_potential",
+    "theorem1207_stationary_product",
+    "theorem1207_mixing_upper",
+    "theorem1207_beta_threshold",
+    "theorem1207_mixing_lower",
+    "lemma1207_update_rate_lower",
 ]
 
 
@@ -384,8 +390,187 @@ def theorem57_ring_mixing_lower(beta: float, delta: float, epsilon: float = 0.25
 
 
 # ---------------------------------------------------------------------------
+# Concurrent updates (arXiv 1207.2908)
+# ---------------------------------------------------------------------------
+
+#: Largest profile-space size for which the doubled-potential matrix
+#: ``Psi`` (``|S| x |S|`` floats) is built exactly.
+_DOUBLED_POTENTIAL_CAP = 4096
+
+
+def lemma1207_doubled_potential(game) -> np.ndarray:
+    """Lemma (arXiv 1207.2908): the doubled potential of the all-logit chain.
+
+    For a local-interaction game with *symmetric* per-edge payoff matrices
+    (``A_e(a, b) = A_e(b, a)``) and per-player external fields, the matrix
+
+    ``Psi(x, y) = sum_i u_i(y_i, x_{-i}) + F(x)``
+
+    (with ``F(x) = sum_i field[i, x_i]``; note each ``u_i`` already includes
+    the field, so the ``F(x)`` term is the field correction on the *current*
+    profile) is symmetric, ``Psi(x, y) = Psi(y, x)``.  The all-player
+    parallel logit chain is then reversible with respect to
+    ``pi(x) propto sum_y exp(beta Psi(x, y))`` — see
+    :func:`theorem1207_stationary_product`.
+
+    Returns the dense ``(|S|, |S|)`` matrix ``Psi``; raises for games
+    without the local CSR structure, asymmetric edge payoffs, or profile
+    spaces larger than ``_DOUBLED_POTENTIAL_CAP``.
+    """
+    _offsets, _nbr, _nbr_edge, _payoffs, field = _local_symmetric_arrays(game)
+    space = game.space
+    if space.size > _DOUBLED_POTENTIAL_CAP:
+        raise ValueError(
+            f"doubled potential needs a dense {space.size} x {space.size} "
+            f"matrix; capped at |S| <= {_DOUBLED_POTENTIAL_CAP}"
+        )
+    profiles = space.all_profiles()
+    psi = np.zeros((space.size, space.size))
+    for player in range(space.num_players):
+        dev = game.utility_deviations_profiles(player, profiles)  # (|S|, m)
+        psi += dev[:, profiles[:, player]]
+    f_of_x = field[np.arange(space.num_players)[None, :], profiles].sum(axis=1)
+    return psi + f_of_x[:, None]
+
+
+def theorem1207_stationary_product(game, beta: float) -> np.ndarray:
+    """Theorem (arXiv 1207.2908): exact stationary law of the parallel chain.
+
+    For symmetric local-interaction games the all-player (``p = 1``) logit
+    chain has the product-form stationary distribution
+
+    ``pi(x) propto sum_y exp(beta Psi(x, y))``
+
+    with ``Psi`` the doubled potential of
+    :func:`lemma1207_doubled_potential` — a row log-sum-exp, *not* the
+    Gibbs measure of the sequential chain.  Returns the normalised vector
+    over ``game.space``.  Holds only at ``p = 1``; the ``p < 1``
+    probabilistic chain has neither Gibbs nor product-form stationarity.
+    """
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    psi = beta * lemma1207_doubled_potential(game)
+    mx = psi.max(axis=1, keepdims=True)
+    log_pi = np.log(np.exp(psi - mx).sum(axis=1)) + mx[:, 0]
+    log_pi -= log_pi.max()
+    pi = np.exp(log_pi)
+    return pi / pi.sum()
+
+
+def theorem1207_mixing_upper(
+    num_players: int,
+    max_degree: int,
+    beta: float,
+    delta: float,
+    p: float = 1.0,
+    epsilon: float = 0.25,
+) -> float:
+    """High-temperature mixing upper bound for the concurrent chain.
+
+    Path coupling: a disagreeing player infects each neighbor with rate at
+    most ``rho = tanh(beta delta)`` per update, so with per-step update
+    probability ``p`` the expected Hamming distance contracts by
+    ``kappa = p (1 - Delta rho)`` per step whenever ``beta`` is below
+    :func:`theorem1207_beta_threshold`.  Then
+    ``t_mix(eps) <= ceil(log(n / eps) / kappa)``; returns ``inf`` when the
+    contraction fails (``kappa <= 0``).
+    """
+    _check_common(num_players, 2, beta)
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if not 0 < p <= 1:
+        raise ValueError("update probability p must lie in (0, 1]")
+    _check_epsilon(epsilon)
+    rho = math.tanh(beta * delta)
+    kappa = p * (1.0 - max_degree * rho)
+    if kappa <= 0:
+        return math.inf
+    return float(math.ceil(math.log(num_players / epsilon) / kappa))
+
+
+def theorem1207_beta_threshold(max_degree: int, delta: float) -> float:
+    """Inverse temperature below which :func:`theorem1207_mixing_upper` is finite.
+
+    ``tanh(beta delta) < 1 / Delta`` i.e. ``beta < artanh(1 / Delta) / delta``;
+    ``inf`` for ``Delta <= 1`` (contraction never fails).
+    """
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if max_degree <= 1:
+        return math.inf
+    return float(math.atanh(1.0 / max_degree) / delta)
+
+
+def theorem1207_mixing_lower(
+    beta: float, barrier: float, cut_pairs: int, epsilon: float = 0.25
+) -> float:
+    """Low-temperature mixing lower bound via a bottleneck cut.
+
+    A cut whose crossing requires climbing a doubled-potential barrier
+    ``barrier`` over at most ``cut_pairs`` boundary pairs has conductance
+    ``O(cut_pairs e^{-beta barrier})``, so
+    ``t_mix(eps) >= (1 - 2 eps) / (2 cut_pairs) * e^{beta barrier}``.
+    """
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    if barrier < 0:
+        raise ValueError("barrier must be non-negative")
+    if cut_pairs < 1:
+        raise ValueError("cut_pairs must be a positive count")
+    _check_epsilon(epsilon)
+    return float((1.0 - 2.0 * epsilon) / (2.0 * cut_pairs) * math.exp(beta * barrier))
+
+
+def lemma1207_update_rate_lower(
+    max_strategies: int, p: float, epsilon: float = 0.25
+) -> float:
+    """Steps until every player has updated at least once, w.p. ``>= 1 - eps``.
+
+    A player with ``m`` strategies keeps a detectable stale coordinate with
+    probability at most ``gap = 1 - 1/m`` per missed update; after ``t``
+    steps of per-step update probability ``p`` the miss probability is
+    ``(1 - p)^t``.  Solving ``(1 - p)^t gap <= eps`` gives
+    ``t >= log(gap / eps) / (-log(1 - p))``; returns ``1.0`` for ``p >= 1``
+    (one step suffices) and ``0.0`` when ``eps >= gap``.
+    """
+    if max_strategies < 1:
+        raise ValueError("need at least one strategy")
+    if not 0 < p <= 1:
+        raise ValueError("update probability p must lie in (0, 1]")
+    _check_epsilon(epsilon)
+    if p >= 1.0:
+        return 1.0
+    gap = 1.0 - 1.0 / max_strategies
+    if epsilon >= gap:
+        return 0.0
+    return float(math.log(gap / epsilon) / (-math.log1p(-p)))
+
+
+# ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _local_symmetric_arrays(game):
+    """CSR arrays of a local-interaction game, validating edge symmetry."""
+    csr = getattr(game, "csr_arrays", None)
+    if not callable(csr):
+        raise TypeError(
+            "the doubled-potential results need a local-interaction game "
+            f"exposing csr_arrays(); got {type(game).__name__}"
+        )
+    offsets, nbr, nbr_edge, payoffs, field = csr()
+    if not np.allclose(payoffs, np.transpose(payoffs, (0, 2, 1))):
+        raise ValueError(
+            "arXiv 1207.2908 results require symmetric per-edge payoff "
+            "matrices (A_e(a, b) = A_e(b, a)); at least one edge is "
+            "asymmetric"
+        )
+    return offsets, nbr, nbr_edge, payoffs, field
 
 
 def cutwidth_for_bound(graph) -> int:

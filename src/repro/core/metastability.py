@@ -32,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.backend import resolve_backend
 from ..engine.ensemble import EnsembleSimulator
 from ..engine.kernels import require_sequential_dynamics
 from ..games.base import Game
@@ -218,9 +219,14 @@ class _TruncatedHittingSampler:
     start: object
     targets: object
     max_steps: int
+    #: the *resolved* array backend (resolved once in the coordinator so the
+    #: numba-fallback warning fires there, visibly, not once per worker)
+    backend: object = "numpy"
 
     def __call__(self, children) -> np.ndarray:
-        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start)
+        sim = EnsembleSimulator.seeded(
+            self.dynamics, children, start=self.start, backend=self.backend
+        )
         times = sim.hitting_times(self.targets, max_steps=self.max_steps)
         return np.where(times < 0, self.max_steps, times).astype(float)
 
@@ -239,9 +245,12 @@ class _TruncatedPredicateEscapeSampler:
     start_profile: np.ndarray
     states: object
     max_steps: int
+    backend: object = "numpy"
 
     def __call__(self, children) -> np.ndarray:
-        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start_profile)
+        sim = EnsembleSimulator.seeded(
+            self.dynamics, children, start=self.start_profile, backend=self.backend
+        )
         _check_start_inside_well(self.states, sim, len(children))
         times = sim.exit_times(self.states, max_steps=self.max_steps)
         return np.where(times < 0, self.max_steps, times).astype(float)
@@ -261,13 +270,16 @@ class _TruncatedGibbsEscapeSampler:
     well: np.ndarray
     weights: np.ndarray
     max_steps: int
+    backend: object = "numpy"
 
     def __call__(self, children) -> np.ndarray:
         gens = [np.random.default_rng(c) for c in children]
         starts = self.well[
             [int(g.choice(self.well.size, p=self.weights)) for g in gens]
         ]
-        sim = EnsembleSimulator.seeded(self.dynamics, gens, start_indices=starts)
+        sim = EnsembleSimulator.seeded(
+            self.dynamics, gens, start_indices=starts, backend=self.backend
+        )
         times = sim.exit_times(self.well, max_steps=self.max_steps)
         return np.where(times < 0, self.max_steps, times).astype(float)
 
@@ -339,6 +351,7 @@ def empirical_escape_times(
     seed: int | np.random.SeedSequence | None = None,
     keep_samples: bool = True,
     executor=None,
+    backend="numpy",
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -389,10 +402,17 @@ def empirical_escape_times(
     is purely a wall-clock knob; the process backend requires the
     game/dynamics and the well description to be picklable (module-level
     predicates, not lambdas).
+
+    ``backend`` selects the engine's array backend (``"numpy"``,
+    ``"numba"``, or an :class:`~repro.engine.backend.ArrayBackend`
+    instance); it is resolved once here — so a numba-unavailable fallback
+    warns exactly once, in this process — and the resolved instance is
+    what the (possibly sharded) samplers use.
     """
     if precision is not None:
         _reject_fixed_mode_arguments(num_replicas, rng)
     _reject_executor_without_precision(precision, executor)
+    backend = resolve_backend(backend)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     rng = np.random.default_rng() if rng is None else rng
     if dynamics is None:
@@ -422,13 +442,13 @@ def empirical_escape_times(
                 )
             return _adaptive_truncated_times(
                 _TruncatedPredicateEscapeSampler(
-                    dynamics, profile, states, int(max_steps)
+                    dynamics, profile, states, int(max_steps), backend
                 ),
                 precision, alpha, max_steps,
                 chunk_size, max_replicas, seed, keep_samples, executor,
             )
         sim = dynamics.ensemble(
-            num_replicas, start=np.asarray(start_profiles), rng=rng
+            num_replicas, start=np.asarray(start_profiles), rng=rng, backend=backend
         )
         _check_start_inside_well(states, sim, num_replicas)
         return sim.exit_times(states, max_steps=max_steps)
@@ -448,12 +468,12 @@ def empirical_escape_times(
         weights = weights / total
     if precision is not None:
         return _adaptive_truncated_times(
-            _TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps)),
+            _TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps), backend),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
         )
     starts = rng.choice(idx, size=num_replicas, p=weights)
-    sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng)
+    sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng, backend=backend)
     return sim.exit_times(idx, max_steps=max_steps)
 
 
@@ -473,6 +493,7 @@ def empirical_hitting_times(
     seed: int | np.random.SeedSequence | None = None,
     keep_samples: bool = True,
     executor=None,
+    backend="numpy",
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
@@ -499,12 +520,15 @@ def empirical_hitting_times(
     at most ``precision * max_steps`` wide when ``stopped_early`` is true.
     With ``precision=None`` the legacy fixed-replica sample array is
     returned unchanged.  ``executor`` shards the adaptive chunks across
-    processes without changing any sample (see
-    :func:`empirical_escape_times`).
+    processes without changing any sample, and ``backend`` selects the
+    engine's array backend, resolved once in this (coordinator) process so
+    a numba-unavailable fallback warns exactly once and visibly (see
+    :func:`empirical_escape_times` for both).
     """
     if precision is not None:
         _reject_fixed_mode_arguments(num_replicas, rng)
     _reject_executor_without_precision(precision, executor)
+    backend = resolve_backend(backend)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
@@ -522,11 +546,13 @@ def empirical_hitting_times(
             )
 
         return _adaptive_truncated_times(
-            _TruncatedHittingSampler(dynamics, start_state, targets, int(max_steps)),
+            _TruncatedHittingSampler(
+                dynamics, start_state, targets, int(max_steps), backend
+            ),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
         )
-    sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng)
+    sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng, backend=backend)
     return sim.hitting_times(targets, max_steps=max_steps)
 
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.backend import resolve_backend
 from ..engine.ensemble import EnsembleSimulator
 from ..engine.kernels import SeededSequentialKernel, require_sequential_dynamics
 from ..games.base import Game
@@ -93,18 +94,20 @@ def _tv_from_indices(indices: np.ndarray, reference: np.ndarray, space_size: int
     )
 
 
-def _advance_tv_shard(dynamics, seeds, start, steps: int):
+def _advance_tv_shard(dynamics, seeds, start, steps: int, backend="numpy"):
     """Advance one replica shard ``steps`` steps; module-level, picklable.
 
     ``seeds`` is the shard's per-replica randomness — ``SeedSequence``
     children on the first round, the previous round's generators (adopted
     as-is, so every stream *continues*) afterwards — and ``start`` the
     shared start on the first round, the shard's ``(R_shard, n)`` profile
-    rows afterwards.  Returns ``(generators, profiles, indices)``: the
-    round-tripped shard state plus the profile indices the checkpoint TV
-    is computed from.
+    rows afterwards.  ``backend`` is the *resolved* array backend shipped
+    from the coordinator (resolving in the parent keeps the numba-fallback
+    warning visible and one-shot instead of per-worker).  Returns
+    ``(generators, profiles, indices)``: the round-tripped shard state
+    plus the profile indices the checkpoint TV is computed from.
     """
-    sim = EnsembleSimulator.seeded(dynamics, seeds, start=start)
+    sim = EnsembleSimulator.seeded(dynamics, seeds, start=start, backend=backend)
     if steps:
         sim.run(steps)
     return (
@@ -254,6 +257,7 @@ def _estimate_tv_convergence_sharded(
     alpha: float | None,
     seed,
     executor,
+    backend="numpy",
 ) -> EnsembleMixingEstimate:
     """Sharded-replica TV convergence: the ``executor=`` path.
 
@@ -291,7 +295,7 @@ def _estimate_tv_convergence_sharded(
     converged = False
     while True:
         tasks = [
-            (dynamics, shard_seeds[j], shard_starts[j], steps)
+            (dynamics, shard_seeds[j], shard_starts[j], steps, backend)
             for j in range(len(plan))
         ]
         results = executor.map_tasks(_advance_tv_shard, tasks)
@@ -339,6 +343,7 @@ def estimate_tv_convergence(
     alpha: float | None = None,
     executor=None,
     seed: int | np.random.SeedSequence | None = None,
+    backend="numpy",
 ) -> EnsembleMixingEstimate:
     """Time for an ensemble of ``dynamics`` to reach ``reference`` in TV.
 
@@ -385,10 +390,18 @@ def estimate_tv_convergence(
     ``SeedSequence`` child per replica spawned from ``seed``.  Pooled
     checkpoint histograms — and therefore the whole estimate — are
     bit-for-bit identical for every shard count, so the shard count is
-    purely a wall-clock knob.  Sharded mode requires sequential dynamics
-    (the per-replica-stream contract) and is seeded by ``seed``, not
-    ``rng``; its randomness contract differs from the ``rng``-driven
-    serial path, so compare sharded runs against sharded runs.
+    purely a wall-clock knob.  Sharded mode requires a dynamics whose
+    kernel has a seeded per-replica-stream variant (sequential, parallel
+    or probabilistic schedules) and is seeded by ``seed``, not ``rng``;
+    its randomness contract differs from the ``rng``-driven serial path,
+    so compare sharded runs against sharded runs.
+
+    ``backend`` selects the engine's array backend (``"numpy"``,
+    ``"numba"``, or an :class:`~repro.engine.backend.ArrayBackend`
+    instance).  It is resolved **once here in the coordinator** and the
+    resolved instance is shipped to the shard workers — so a
+    numba-unavailable fallback warns exactly once, in the parent process
+    where the user can see it, instead of once per (invisible) worker.
     """
     if not 0 < epsilon < 1:
         raise ValueError("epsilon must lie in (0, 1)")
@@ -402,6 +415,7 @@ def estimate_tv_convergence(
         start = int(np.argmax(reference))
     elif not isinstance(start, (int, np.integer)):
         start = np.asarray(start, dtype=np.int64)
+    backend = resolve_backend(backend)
     sharder, owned = claim_executor(executor)
     if sharder is not None:
         if rng is not None:
@@ -423,6 +437,7 @@ def estimate_tv_convergence(
                 alpha,
                 seed,
                 sharder,
+                backend,
             )
         finally:
             if owned:
@@ -433,7 +448,7 @@ def estimate_tv_convergence(
             "streams; the serial path is driven by rng= — pass one or the "
             "other, not a dangling seed"
         )
-    sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode)
+    sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode, backend=backend)
     budget = sim.kernel.remaining_steps(sim)
     if budget is not None:
         max_time = min(int(max_time), budget)
@@ -488,6 +503,7 @@ def estimate_mixing_time_ensemble(
     alpha: float | None = None,
     executor=None,
     seed: int | np.random.SeedSequence | None = None,
+    backend="numpy",
 ) -> EnsembleMixingEstimate:
     """Sampled TV mixing estimate from ``num_replicas`` parallel replicas.
 
@@ -540,6 +556,7 @@ def estimate_mixing_time_ensemble(
         alpha=alpha,
         executor=executor,
         seed=seed,
+        backend=backend,
     )
 
 

@@ -42,6 +42,7 @@ import numpy as np
 from ..engine.kernels import (
     AnnealedKernel,
     ParallelKernel,
+    ProbabilisticKernel,
     RoundRobinKernel,
     SequentialKernel,
 )
@@ -58,6 +59,7 @@ from .logit import (
 __all__ = [
     "EngineBackedDynamics",
     "ParallelLogitDynamics",
+    "ConcurrentLogitDynamics",
     "BestResponseDynamics",
     "AnnealedLogitDynamics",
     "RoundRobinLogitDynamics",
@@ -157,6 +159,133 @@ class ParallelLogitDynamics(LogitRule, EngineBackedDynamics):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelLogitDynamics(game={self.game!r}, beta={self.beta})"
+
+
+class ConcurrentLogitDynamics(LogitRule, EngineBackedDynamics):
+    """Each player independently revises with probability ``p`` per step.
+
+    The probabilistic-schedule ("all-logit") dynamics of the concurrent-
+    update follow-up work (arXiv 1207.2908): one step from profile ``x``
+    flips an independent ``p``-coin per player, and every selected player
+    draws a new strategy from her logit rule ``sigma_i(. | x)`` *against
+    the common pre-step profile* — all moves land at once, so transition
+    probabilities factorise as
+    ``P(x, y) = prod_i [p sigma_i(y_i | x) + (1 - p) 1{y_i = x_i}]``.
+
+    ``p = 1`` is exactly :class:`ParallelLogitDynamics` — including the
+    random stream, so trajectories match bit-for-bit — and as ``p -> 0``
+    the chain approaches the sequential dynamics' one-expected-update-per-
+    ``1/p``-steps intensity while keeping the concurrent (in general
+    non-reversible) semantics.  At ``p = 1`` on a local-interaction game
+    with symmetric per-edge payoffs the stationary distribution has the
+    closed product form on the doubled potential
+    (:func:`repro.core.bounds.theorem1207_stationary_product`); for
+    ``p < 1`` not even that holds and the stationary distribution is
+    numerical only.  Coordination games exhibit the "parallel trap": the
+    concurrent chain's stationary distribution puts mass on miscoordinated
+    profiles the Gibbs measure exponentially suppresses.
+    """
+
+    def __init__(self, game: Game, beta: float, p: float = 1.0):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        p = float(p)
+        if not 0.0 < p <= 1.0:
+            raise ValueError("the update probability p must lie in (0, 1]")
+        self.game = game
+        self.beta = float(beta)
+        self.p = p
+        self._matrix: np.ndarray | None = None
+
+    # -- update rule (the engine's rule contract) --------------------------
+
+    def update_distribution(self, profile_index: int, player: int) -> np.ndarray:
+        """Per-player logit update distribution (conditional on updating)."""
+        utilities = self.game.utility_deviations(player, profile_index)
+        return logit_update_distribution(utilities, self.beta)
+
+    # (batched update_distribution_many / player_update_matrix: LogitRule)
+
+    def kernel(self) -> ProbabilisticKernel:
+        """Probabilistic-schedule kernel over this logit rule."""
+        return ProbabilisticKernel(self, p=self.p)
+
+    # -- exact machinery (small games) -------------------------------------
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense ``P(x, y) = prod_i [p sigma_i(y_i | x) + (1-p) 1{y_i = x_i}]``."""
+        if self._matrix is None:
+            space = self.game.space
+            size = space.size
+            P = np.ones((size, size), dtype=float)
+            target = space.all_profiles()  # (|S|, n): strategy of each player
+            for player in range(space.num_players):
+                probs = self.player_update_matrix(player)  # (|S|, m_i)
+                # factor[x, y] = p sigma_player(y_player | x) + (1-p) 1{stay}
+                factor = self.p * probs[:, target[:, player]]
+                if self.p < 1.0:
+                    stay = np.equal.outer(target[:, player], target[:, player])
+                    factor[stay] += 1.0 - self.p
+                P *= factor
+            self._matrix = P
+        return self._matrix
+
+    def markov_chain(self) -> MarkovChain:
+        """The concurrent chain (stationary distribution computed numerically)."""
+        return MarkovChain(self.transition_matrix())
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Numerical stationary distribution (generally *not* the Gibbs measure)."""
+        return self.markov_chain().stationary.copy()
+
+    # -- simulation ---------------------------------------------------------
+
+    def simulate_loop(
+        self,
+        start: Sequence[int] | np.ndarray,
+        num_steps: int,
+        rng: np.random.Generator | None = None,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Scalar pure-Python reference implementation of :meth:`simulate`.
+
+        Per step it consumes ``n`` mask uniforms then ``n`` move uniforms,
+        in player order — with the mask row skipped entirely at ``p = 1``
+        — the same random-stream contract as the batched
+        :class:`~repro.engine.kernels.ProbabilisticKernel` with one
+        replica, so the two match bit-for-bit under a fixed seed (and at
+        ``p = 1`` both match :class:`ParallelLogitDynamics`).
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        record_every = max(int(record_every), 1)
+        space = self.game.space
+        profile = np.asarray(start, dtype=np.int64).copy()
+        if profile.shape != (space.num_players,):
+            raise ValueError("start profile has wrong length")
+        snapshots = [profile.copy()]
+        for t in range(num_steps):
+            idx = space.encode(profile)
+            if self.p >= 1.0:
+                update = np.ones(space.num_players, dtype=bool)
+            else:
+                update = rng.random(space.num_players) < self.p
+            uniforms = rng.random(space.num_players)
+            new = profile.copy()
+            for player in range(space.num_players):
+                if not update[player]:
+                    continue
+                probs = self.update_distribution(idx, player)
+                new[player] = sample_inverse_cdf(probs, float(uniforms[player]))
+            profile = new
+            if (t + 1) % record_every == 0:
+                snapshots.append(profile.copy())
+        return np.asarray(snapshots, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConcurrentLogitDynamics(game={self.game!r}, beta={self.beta}, "
+            f"p={self.p})"
+        )
 
 
 class BestResponseDynamics(EngineBackedDynamics):

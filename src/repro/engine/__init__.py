@@ -12,14 +12,21 @@ for the full contract):
   how the step's randomness is consumed — one uniformly random player
   (:class:`~repro.engine.kernels.SequentialKernel`, the paper's dynamics),
   every player simultaneously
-  (:class:`~repro.engine.kernels.ParallelKernel`), a cyclic cursor
+  (:class:`~repro.engine.kernels.ParallelKernel`), each player
+  independently with probability ``p`` per step
+  (:class:`~repro.engine.kernels.ProbabilisticKernel`, the concurrent
+  schedule of arXiv 1207.2908; ``p = 1`` recovers the parallel kernel
+  bit-for-bit), a cyclic cursor
   (:class:`~repro.engine.kernels.RoundRobinKernel`), a sequential mover
   under a time-varying ``beta_t`` schedule
-  (:class:`~repro.engine.kernels.AnnealedKernel`), or a sequential mover
-  with one independent random stream per replica
-  (:class:`~repro.engine.kernels.SeededSequentialKernel` — the
-  chunk-size-invariant sampling mode behind the adaptive estimators,
-  see :meth:`EnsembleSimulator.seeded
+  (:class:`~repro.engine.kernels.AnnealedKernel`), or any of the seeded
+  per-replica-stream variants
+  (:class:`~repro.engine.kernels.SeededSequentialKernel`,
+  :class:`~repro.engine.kernels.SeededParallelKernel`,
+  :class:`~repro.engine.kernels.SeededProbabilisticKernel` — the
+  chunk-size-invariant sampling modes behind the adaptive estimators,
+  dispatched by :func:`~repro.engine.kernels.seeded_kernel_for`; see
+  :meth:`EnsembleSimulator.seeded
   <repro.engine.ensemble.EnsembleSimulator.seeded>`);
 * a **rule** supplies the mover's move distribution — the logit softmax
   (:class:`~repro.core.logit.LogitDynamics` and every variant class) or the
@@ -68,10 +75,14 @@ from .ensemble import EnsembleSimulator
 from .kernels import (
     AnnealedKernel,
     ParallelKernel,
+    ProbabilisticKernel,
     RoundRobinKernel,
+    SeededParallelKernel,
+    SeededProbabilisticKernel,
     SeededSequentialKernel,
     SequentialKernel,
     UpdateKernel,
+    seeded_kernel_for,
 )
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 from .state import EngineState, IndexState, MatrixState, strategy_dtype
@@ -91,6 +102,10 @@ __all__ = [
     "SequentialKernel",
     "SeededSequentialKernel",
     "ParallelKernel",
+    "ProbabilisticKernel",
+    "SeededParallelKernel",
+    "SeededProbabilisticKernel",
+    "seeded_kernel_for",
     "RoundRobinKernel",
     "AnnealedKernel",
     "maximal_coupling_update_many",

@@ -127,6 +127,20 @@ class ArrayBackend:
         """
         return None
 
+    def fused_probabilistic_stepper(self, game, rule):
+        """Fused probabilistic-schedule stepper, or ``None``.
+
+        The stepper signature is ``stepper(matrix, rows, old, mask,
+        uniforms, beta)``: player ``i`` of replica row ``rows[j]``
+        resamples against the pre-step profile ``old[j]`` using
+        ``uniforms[j, i]`` iff ``mask[j, i]``, and keeps ``old[j, i]``
+        otherwise — the masked variant of the parallel stepper the
+        :class:`~repro.engine.kernels.ProbabilisticKernel` consumes
+        (masked-out players' uniforms are drawn by the kernel but unused,
+        so the stream is mask-independent).
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -207,6 +221,35 @@ class NumbaBackend(ArrayBackend):
                 matrix,
                 rows,
                 old,
+                uniforms,
+                float(beta),
+                offsets,
+                nbr,
+                nbr_edge,
+                payoffs,
+                field,
+                scratch["util"],
+            )
+
+        return stepper
+
+    def fused_probabilistic_stepper(self, game, rule):
+        if not self.can_fuse(game, rule):
+            return None
+        offsets, nbr, nbr_edge, payoffs, field = game.csr_arrays()
+        m = int(payoffs.shape[1])
+        scratch: dict = {"k": -1, "util": None}
+
+        def stepper(matrix, rows, old, mask, uniforms, beta):
+            k = rows.shape[0]
+            if scratch["k"] != k:
+                scratch["k"] = k
+                scratch["util"] = np.empty((k, m), dtype=np.float64)
+            _kernels()["probabilistic"](
+                matrix,
+                rows,
+                old,
+                mask,
                 uniforms,
                 float(beta),
                 offsets,
@@ -315,7 +358,54 @@ def _kernels() -> dict:
                         break
                 matrix[r, i] = choice
 
-    _KERNELS = {"rowwise": fused_rowwise, "parallel": fused_parallel}
+    @njit(cache=True, parallel=True)
+    def fused_probabilistic(
+        matrix, rows, old, mask, uniforms, beta, offsets, nbr, nbr_edge, payoffs, field, util
+    ):  # pragma: no cover - compiled
+        k = rows.shape[0]
+        n = matrix.shape[1]
+        m = payoffs.shape[1]
+        for j in prange(k):
+            r = rows[j]
+            for i in range(n):
+                if not mask[j, i]:
+                    matrix[r, i] = old[j, i]
+                    continue
+                lo = offsets[i]
+                hi = offsets[i + 1]
+                for s in range(m):
+                    util[j, s] = 0.0
+                for d in range(lo, hi):
+                    e = nbr_edge[d]
+                    t = old[j, nbr[d]]
+                    for s in range(m):
+                        util[j, s] += payoffs[e, s, t]
+                mx = -np.inf
+                for s in range(m):
+                    v = beta * (util[j, s] + field[i, s])
+                    util[j, s] = v
+                    if v > mx:
+                        mx = v
+                total = 0.0
+                for s in range(m):
+                    w = math.exp(util[j, s] - mx)
+                    util[j, s] = w
+                    total += w
+                u = uniforms[j, i]
+                choice = m - 1
+                c = 0.0
+                for s in range(m - 1):
+                    c += util[j, s] / total
+                    if c > u:
+                        choice = s
+                        break
+                matrix[r, i] = choice
+
+    _KERNELS = {
+        "rowwise": fused_rowwise,
+        "parallel": fused_parallel,
+        "probabilistic": fused_probabilistic,
+    }
     return _KERNELS
 
 

@@ -58,7 +58,12 @@ import numpy as np
 
 from ..games.space import DENSE_PROFILE_CAP
 from .backend import ArrayBackend, resolve_backend
-from .kernels import SeededSequentialKernel, SequentialKernel, UpdateKernel
+from .kernels import (
+    SeededSequentialKernel,
+    SequentialKernel,
+    UpdateKernel,
+    seeded_kernel_for,
+)
 from .sampling import sample_from_cumulative, sample_inverse_cdf
 from .state import EngineState, IndexState, MatrixState
 
@@ -248,9 +253,13 @@ class EnsembleSimulator:
         # the numpy backend) means the generic paths above run unchanged.
         self._fused_rowwise = None
         self._fused_parallel = None
+        self._fused_probabilistic = None
         if self.mode == "matrix_free" and self.state.kind == "matrix":
             self._fused_rowwise = self.backend.fused_rowwise_stepper(self.game, rule)
             self._fused_parallel = self.backend.fused_parallel_stepper(self.game, rule)
+            self._fused_probabilistic = self.backend.fused_probabilistic_stepper(
+                self.game, rule
+            )
         self._rows_all = np.arange(self.num_replicas, dtype=np.int64)
         self.reset(start, start_indices=start_indices)
 
@@ -268,17 +277,34 @@ class EnsembleSimulator:
     ) -> "EnsembleSimulator":
         """An ensemble with one independent random stream per replica.
 
-        Builds the simulator around a
-        :class:`~repro.engine.kernels.SeededSequentialKernel`: replica
-        ``r`` draws all of its randomness from ``seeds[r]`` (a
+        Builds the simulator around the seeded counterpart of the
+        dynamics' own kernel
+        (:func:`~repro.engine.kernels.seeded_kernel_for`): sequential
+        dynamics get a
+        :class:`~repro.engine.kernels.SeededSequentialKernel`, concurrent
+        (parallel / probabilistic-schedule) dynamics their
+        :class:`~repro.engine.kernels.SeededParallelKernel` /
+        :class:`~repro.engine.kernels.SeededProbabilisticKernel`; kernels
+        without a seeded counterpart raise.  Replica ``r`` draws all of
+        its randomness from ``seeds[r]`` (a
         :class:`numpy.random.SeedSequence` child, raw int, or pre-built
         generator), so its trajectory is a pure function of its own seed.
         This is the chunked/resumable run mode the adaptive estimators
         use: replica chunks of any size pool into bit-for-bit identical
         samples, and consecutive ``run`` / first-passage calls continue
-        each stream where the previous call stopped.
+        each stream where the previous call stopped.  ``block_size`` only
+        affects the sequential seeded kernel (it is part of that kernel's
+        stream definition); the concurrent kernels draw whole per-sweep
+        rows instead.
         """
         seeds = list(seeds)
+        kernel = dynamics.kernel() if hasattr(dynamics, "kernel") else None
+        if kernel is None:
+            seeded_kernel: UpdateKernel = SeededSequentialKernel(
+                dynamics, seeds, block_size=block_size
+            )
+        else:
+            seeded_kernel = seeded_kernel_for(kernel, seeds, block_size=block_size)
         return cls(
             dynamics,
             len(seeds),
@@ -287,7 +313,7 @@ class EnsembleSimulator:
             mode=mode,
             state=state,
             backend=backend,
-            kernel=SeededSequentialKernel(dynamics, seeds, block_size=block_size),
+            kernel=seeded_kernel,
         )
 
     # -- state ------------------------------------------------------------

@@ -52,14 +52,25 @@ A kernel subclasses :class:`UpdateKernel` and implements:
 
 Randomness contracts (what the cross-validation tests pin down):
 
-========================  ====================================================
-kernel                    per step consumes
-========================  ====================================================
-:class:`SequentialKernel` one player index, then one uniform, per replica
-:class:`ParallelKernel`   ``n`` uniforms per replica, in player order
-:class:`RoundRobinKernel` one uniform per replica (the mover is the cursor)
-:class:`AnnealedKernel`   one player index, then one uniform, per replica
-========================  ====================================================
+=============================  ===============================================
+kernel                         per step consumes
+=============================  ===============================================
+:class:`SequentialKernel`      one player index, then one uniform, per replica
+:class:`ParallelKernel`        ``n`` uniforms per replica, in player order
+:class:`ProbabilisticKernel`   ``n`` mask uniforms then ``n`` move uniforms
+                               per replica, player order (mask draw skipped
+                               entirely at ``p = 1``, recovering the
+                               :class:`ParallelKernel` stream bit-for-bit)
+:class:`RoundRobinKernel`      one uniform per replica (the mover is the
+                               cursor)
+:class:`AnnealedKernel`        one player index, then one uniform, per replica
+=============================  ===============================================
+
+The seeded variants (:class:`SeededSequentialKernel`,
+:class:`SeededParallelKernel`, :class:`SeededProbabilisticKernel`) consume
+the same quantities per step, but from one independent generator per
+replica instead of the simulator's shared stream — the contract that makes
+pooled adaptive/sharded samples invariant to chunk size and shard count.
 """
 
 from __future__ import annotations
@@ -73,27 +84,38 @@ __all__ = [
     "SequentialKernel",
     "SeededSequentialKernel",
     "ParallelKernel",
+    "ProbabilisticKernel",
+    "SeededParallelKernel",
+    "SeededProbabilisticKernel",
     "RoundRobinKernel",
     "AnnealedKernel",
     "require_sequential_dynamics",
+    "seeded_kernel_for",
 ]
 
 
 def require_sequential_dynamics(dynamics) -> None:
     """Refuse dynamics the seeded per-replica streams cannot represent.
 
-    Adaptive chunked estimation wraps a dynamics' *rule* in
-    :class:`SeededSequentialKernel`, i.e. one random mover per step; doing
-    that to a parallel / round-robin / annealed dynamics would silently
-    simulate a different Markov chain.  Every adaptive entry point calls
-    this before building a seeded ensemble.
+    Adaptive chunked estimation and the sharded executors rebuild a
+    dynamics' kernel as its seeded counterpart (one independent random
+    stream per replica, see :func:`seeded_kernel_for`).  That counterpart
+    exists for the sequential kernel and for the concurrent schedules —
+    :class:`SequentialKernel`, :class:`ParallelKernel` and
+    :class:`ProbabilisticKernel` all support ``precision=`` / ``executor=``
+    estimation — but not for the cyclic or time-inhomogeneous kernels,
+    where a silent substitution would simulate a different Markov chain.
+    Every adaptive entry point calls this before building a seeded
+    ensemble.  (The name predates the concurrent kernels: the requirement
+    is "has a seeded counterpart", no longer strictly "sequential".)
     """
     kernel = dynamics.kernel() if hasattr(dynamics, "kernel") else None
-    if type(kernel) is not SequentialKernel:
+    if kernel is None or type(kernel) not in _SEEDABLE_KERNELS:
+        supported = ", ".join(k.__name__ for k in _SEEDABLE_KERNELS)
         raise ValueError(
             f"adaptive (precision=) estimation runs on per-replica seeded "
-            f"streams, which exist only for sequential dynamics; "
-            f"{type(dynamics).__name__} advances via "
+            f"streams, which exist only for dynamics advancing via one of "
+            f"{supported}; {type(dynamics).__name__} advances via "
             f"{type(kernel).__name__ if kernel is not None else 'no kernel'} "
             f"— run it with precision=None and a fixed replica count"
         )
@@ -149,6 +171,67 @@ class UpdateKernel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(rule={self.rule!r})"
+
+
+def _as_generators(seeds) -> list[np.random.Generator]:
+    """Adopt ``Generator`` instances as-is, build one from anything else.
+
+    Shared by every seeded kernel: ``SeedSequence`` children (or raw ints)
+    replay their stream from scratch on each reset, while pre-built
+    generators *continue* across resets — which is how the sharded drivers
+    round-trip per-replica streams between checkpoints.
+    """
+    return [
+        s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
+        for s in seeds
+    ]
+
+
+def _check_update_probability(p: float) -> float:
+    p = float(p)
+    if not 0.0 < p <= 1.0:
+        raise ValueError("the update probability p must lie in (0, 1]")
+    return p
+
+
+def _concurrent_sweep(sim, where, old, mask, uniforms) -> None:
+    """Apply one concurrent sweep from pre-drawn mask / move uniforms.
+
+    ``old`` is the pre-step batch in the state backend's representation,
+    ``mask`` the ``(k, n)`` boolean update mask (``None`` = every player
+    updates, the ``p = 1`` case) and ``uniforms`` the ``(k, n)`` move
+    uniforms in player order.  Shared by the probabilistic kernels so the
+    unseeded and seeded variants advance the chain identically once their
+    draws are fixed: every updating player's move distribution is evaluated
+    against the *old* profile and all moves land at once.
+    """
+    state = sim.state
+    n = sim.space.num_players
+    beta = getattr(sim.dynamics, "beta", None)
+    rows = sim._rows_all if where is None else where
+    if mask is None:
+        fused = getattr(sim, "_fused_parallel", None)
+        if fused is not None and beta is not None:
+            fused(state.matrix, rows, old, uniforms, beta)
+            return
+        new = old.copy()
+        for player in range(n):
+            chosen = sim._sample_moves(player, old, uniforms[:, player])
+            new = state.set_strategies(new, player, chosen)
+        state.put(where, new)
+        return
+    fused = getattr(sim, "_fused_probabilistic", None)
+    if fused is not None and beta is not None:
+        fused(state.matrix, rows, old, mask, uniforms, beta)
+        return
+    new = old.copy()
+    for player in range(n):
+        movers = np.flatnonzero(mask[:, player])
+        if movers.size == 0:
+            continue
+        chosen = sim._sample_moves(player, old[movers], uniforms[movers, player])
+        new[movers] = state.set_strategies(new[movers], player, chosen)
+    state.put(where, new)
 
 
 class SequentialKernel(UpdateKernel):
@@ -278,10 +361,7 @@ class SeededSequentialKernel(UpdateKernel):
         ]
 
     def _generators(self) -> list[np.random.Generator]:
-        return [
-            s if isinstance(s, np.random.Generator) else np.random.default_rng(s)
-            for s in self.seeds
-        ]
+        return _as_generators(self.seeds)
 
     def init_state(self, sim) -> dict:
         if len(self.seeds) != sim.num_replicas:
@@ -347,6 +427,118 @@ class ParallelKernel(UpdateKernel):
             chosen = sim._sample_moves(player, old, uniforms[:, player])
             new = state.set_strategies(new, player, chosen)
         state.put(where, new)
+
+
+class ProbabilisticKernel(UpdateKernel):
+    """Each player independently revises with probability ``p`` per step.
+
+    The probabilistic ("all-logit") schedule of the concurrent-update
+    follow-up work (arXiv 1207.2908): one step flips an independent
+    ``p``-coin per player, and every selected player resamples from her
+    move distribution *against the pre-step profile* — all moves land at
+    once.  ``p = 1`` is exactly :class:`ParallelKernel` (the mask draw is
+    skipped entirely, so even the random stream matches bit-for-bit);
+    ``p -> 0`` approaches the sequential dynamics' one-expected-update-per-
+    ``1/p``-steps intensity while keeping the concurrent (non-reversible)
+    update semantics.
+
+    Per step each replica consumes ``n`` mask uniforms (player order; a
+    player updates iff her uniform is below ``p``) followed by ``n`` move
+    uniforms — uniforms of unselected players are drawn and discarded, so
+    the stream is independent of the realised mask.
+    """
+
+    def __init__(self, rule, p: float = 1.0):
+        super().__init__(rule)
+        self.p = _check_update_probability(p)
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        n = sim.space.num_players
+        old = sim.state.take(where)
+        k = old.shape[0]
+        if self.p >= 1.0:
+            mask = None
+        else:
+            mask = sim.rng.random((k, n)) < self.p
+        uniforms = sim.rng.random((k, n))
+        _concurrent_sweep(sim, where, old, mask, uniforms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rule={self.rule!r}, p={self.p})"
+
+
+class SeededProbabilisticKernel(UpdateKernel):
+    """Probabilistic-schedule kernel with one random stream *per replica*.
+
+    The concurrent counterpart of :class:`SeededSequentialKernel`: replica
+    ``r`` draws, per step and from its own generator, one ``(n,)`` row of
+    mask uniforms (skipped entirely at ``p = 1``) followed by one ``(n,)``
+    row of move uniforms.  Each replica's trajectory is therefore a pure
+    function of its own seed — pooled concurrent first-passage and TV
+    samples are bit-for-bit invariant to chunk size and shard count, which
+    is what lets ``run_until_width``, ``empirical_hitting_times(precision=)``
+    and ``estimate_tv_convergence(executor=)`` run concurrent dynamics.
+    Unlike the sequential seeded kernel no block buffering is needed: one
+    step already consumes a full ``(n,)`` row per draw, so the per-sweep
+    generator call is itself the block.
+
+    ``seeds`` follows the :class:`SeededSequentialKernel` contract:
+    ``SeedSequence`` children or raw ints replay from scratch on reset,
+    pre-built ``Generator`` objects are adopted as-is and continue.
+    """
+
+    def __init__(self, rule, seeds, p: float = 1.0):
+        super().__init__(rule)
+        self.p = _check_update_probability(p)
+        self.seeds = list(seeds)
+        if not self.seeds:
+            raise ValueError("need one seed (or generator) per replica")
+
+    def init_state(self, sim) -> dict:
+        if len(self.seeds) != sim.num_replicas:
+            raise ValueError(
+                f"kernel carries {len(self.seeds)} per-replica streams but the "
+                f"simulator has {sim.num_replicas} replicas"
+            )
+        return {"generators": _as_generators(self.seeds)}
+
+    def step(self, sim, where: np.ndarray | None = None) -> None:
+        generators = sim.kernel_state["generators"]
+        sel = range(sim.num_replicas) if where is None else where
+        n = sim.space.num_players
+        k = sim.num_replicas if where is None else where.size
+        old = sim.state.take(where)
+        uniforms = np.empty((k, n), dtype=float)
+        if self.p >= 1.0:
+            mask = None
+            for j, r in enumerate(sel):
+                uniforms[j] = generators[r].random(n)
+        else:
+            mask_uniforms = np.empty((k, n), dtype=float)
+            for j, r in enumerate(sel):
+                g = generators[r]
+                mask_uniforms[j] = g.random(n)
+                uniforms[j] = g.random(n)
+            mask = mask_uniforms < self.p
+        _concurrent_sweep(sim, where, old, mask, uniforms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(rule={self.rule!r}, p={self.p}, "
+            f"replicas={len(self.seeds)})"
+        )
+
+
+class SeededParallelKernel(SeededProbabilisticKernel):
+    """Seeded all-players-at-once kernel (the ``p = 1`` schedule).
+
+    Per step each replica consumes one ``(n,)`` row of move uniforms from
+    its own generator — the :class:`ParallelKernel` contract on per-replica
+    streams.
+    """
+
+    def __init__(self, rule, seeds):
+        super().__init__(rule, seeds, p=1.0)
 
 
 class RoundRobinKernel(UpdateKernel):
@@ -425,3 +617,44 @@ class AnnealedKernel(UpdateKernel):
         uniforms = sim.rng.random(k)
         sim._advance_batch(players, uniforms, where=where, at_beta=beta)
         state["step"] += 1
+
+
+#: unseeded kernels that have a seeded per-replica-stream counterpart —
+#: exactly the dynamics the adaptive (precision=) and sharded (executor=)
+#: estimators accept (see require_sequential_dynamics / seeded_kernel_for)
+_SEEDABLE_KERNELS: tuple[type, ...] = (
+    SequentialKernel,
+    ParallelKernel,
+    ProbabilisticKernel,
+)
+
+
+def seeded_kernel_for(kernel: UpdateKernel, seeds, block_size: int = 256):
+    """The per-replica-stream counterpart of an unseeded kernel.
+
+    This is the dispatch :meth:`EnsembleSimulator.seeded
+    <repro.engine.ensemble.EnsembleSimulator.seeded>` — and through it every
+    adaptive and sharded estimator — uses to rebuild a dynamics' kernel
+    around per-replica generators:
+
+    * :class:`SequentialKernel` -> :class:`SeededSequentialKernel`
+      (``block_size`` is part of that kernel's stream definition);
+    * :class:`ParallelKernel` -> :class:`SeededParallelKernel`;
+    * :class:`ProbabilisticKernel` -> :class:`SeededProbabilisticKernel`
+      at the same update probability ``p``.
+
+    Kernels without a seeded counterpart (round-robin, annealed) raise —
+    silently substituting a different schedule would simulate a different
+    Markov chain.
+    """
+    if type(kernel) is SequentialKernel:
+        return SeededSequentialKernel(kernel.rule, seeds, block_size=block_size)
+    if type(kernel) is ParallelKernel:
+        return SeededParallelKernel(kernel.rule, seeds)
+    if type(kernel) is ProbabilisticKernel:
+        return SeededProbabilisticKernel(kernel.rule, seeds, p=kernel.p)
+    supported = ", ".join(k.__name__ for k in _SEEDABLE_KERNELS)
+    raise ValueError(
+        f"no seeded per-replica-stream counterpart exists for "
+        f"{type(kernel).__name__}; seeded ensembles support {supported}"
+    )

@@ -25,7 +25,7 @@ from repro.core import (
     estimate_mixing_time_ensemble,
     estimate_tv_convergence,
 )
-from repro.core.variants import ParallelLogitDynamics
+from repro.core.variants import RoundRobinLogitDynamics
 from repro.engine import EnsembleSimulator, SeededSequentialKernel
 from repro.games import IsingGame, TwoWellGame
 from repro.stats import StreamingEstimate
@@ -176,11 +176,13 @@ class TestAdaptiveHittingTimes:
         np.testing.assert_array_equal(runs[0].samples, runs[2].samples)
         assert runs[0].estimate == pytest.approx(runs[2].estimate)
 
-    def test_non_sequential_dynamics_rejected(self, ring6_game):
-        with pytest.raises(ValueError, match="sequential"):
+    def test_non_seedable_dynamics_rejected(self, ring6_game):
+        # round-robin has no seeded per-replica counterpart (parallel and
+        # probabilistic schedules now do); the error names the supported ones
+        with pytest.raises(ValueError, match="seeded streams"):
             empirical_hitting_times(
                 ring6_game, 1.0, 0, consensus_target(ring6_game),
-                precision=0.1, dynamics=ParallelLogitDynamics(ring6_game, 1.0),
+                precision=0.1, dynamics=RoundRobinLogitDynamics(ring6_game, 1.0),
             )
 
     def test_per_replica_starts_rejected_in_adaptive_mode(self, ring6_game):
@@ -387,11 +389,11 @@ class TestStationaryWelfareEstimator:
         assert isinstance(est, StreamingEstimate)
         assert np.isfinite(est.lower) and np.isfinite(est.upper)
 
-    def test_non_sequential_dynamics_rejected(self, ring6_game):
-        with pytest.raises(ValueError, match="sequential"):
+    def test_non_seedable_dynamics_rejected(self, ring6_game):
+        with pytest.raises(ValueError, match="seeded streams"):
             estimate_stationary_welfare(
                 ring6_game, 0.5, num_steps=50,
-                dynamics=ParallelLogitDynamics(ring6_game, 0.5),
+                dynamics=RoundRobinLogitDynamics(ring6_game, 0.5),
             )
 
     def test_non_positive_precision_rejected(self, ring6_game):
