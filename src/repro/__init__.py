@@ -166,6 +166,9 @@ from .stats import (
     EmpiricalBernsteinCS,
     HedgedBettingCS,
     NormalMixtureCS,
+    QuantileCS,
+    QuantileEstimate,
+    SampleDriver,
     StreamingEstimate,
     StreamingMoments,
     fixed_n_clt_interval,
@@ -295,6 +298,9 @@ __all__ = [
     "EmpiricalBernsteinCS",
     "HedgedBettingCS",
     "NormalMixtureCS",
+    "QuantileCS",
+    "QuantileEstimate",
+    "SampleDriver",
     "StreamingEstimate",
     "StreamingMoments",
     "fixed_n_clt_interval",

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..stats.accumulators import StreamingEstimate
+from ..stats.quantile import QuantileEstimate
 
 __all__ = [
     "format_value",
@@ -49,7 +50,14 @@ def provenance_summary(result) -> str | None:
 def format_interval(
     estimate: float, lower: float, upper: float, precision: int = 4
 ) -> str:
-    """``estimate [lower, upper]`` — the error-bar cell of the sweep tables."""
+    """``estimate [lower, upper]`` — the error-bar cell of the sweep tables.
+
+    The ensemble estimators report never-converged runs with the ``-1``
+    sentinel; an all-``-1`` triple renders as ``n/c`` (not converged)
+    rather than the misleading pseudo-interval ``-1.0 [-1.0, -1.0]``.
+    """
+    if estimate == -1 and lower == -1 and upper == -1:
+        return "n/c"
     return (
         f"{format_value(float(estimate), precision)} "
         f"[{format_value(float(lower), precision)}, "
@@ -61,12 +69,20 @@ def format_value(value: object, precision: int = 4) -> str:
     """Human-friendly formatting of table cells (floats, ints, bools, inf).
 
     Interval-carrying estimates
-    (:class:`~repro.stats.accumulators.StreamingEstimate`) render as
-    ``estimate [lower, upper]``, so sweep tables propagate error bars by
-    simply putting the estimate object in the cell.
+    (:class:`~repro.stats.accumulators.StreamingEstimate`,
+    :class:`~repro.stats.quantile.QuantileEstimate`) render as
+    ``estimate [lower, upper]`` — quantile cells with a ``P99:`` style
+    prefix — so sweep tables propagate error bars by simply putting the
+    estimate object in the cell; a ``-1`` sentinel triple renders as
+    ``n/c``.
     """
     if isinstance(value, StreamingEstimate):
         return format_interval(value.estimate, value.lower, value.upper, precision)
+    if isinstance(value, QuantileEstimate):
+        return (
+            f"P{100 * value.q:g}: "
+            f"{format_interval(value.estimate, value.lower, value.upper, precision)}"
+        )
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, (int, np.integer)):

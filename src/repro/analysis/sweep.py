@@ -28,6 +28,13 @@ from ..games.base import Game
 from ..parallel.sharding import claim_executor
 from ..parallel.store import as_store, describe
 from ..stats.confseq import NormalMixtureCS
+from ..stats.knobs import (
+    reject_executor_without_precision,
+    reject_seed_rng_conflict,
+    require_executor_seed,
+    require_store_seed,
+)
+from ..stats.quantile import QuantileCS
 
 __all__ = [
     "SweepRecord",
@@ -39,38 +46,6 @@ __all__ = [
     "size_sweep",
     "exponential_growth_rate",
 ]
-
-
-def _require_store_seed(store, seed) -> None:
-    """A stored cell must be a pure function of its spec — which needs a seed.
-
-    Without an explicit master seed the cell's randomness is drawn from
-    process entropy, so the content address would collide across runs that
-    drew different samples; refuse rather than silently cache one draw.
-    """
-    if store is not None and seed is None:
-        raise ValueError(
-            "store= caches cells under a content address of their spec, "
-            "which must pin the randomness: pass seed= (an int or "
-            "SeedSequence) so every cell is a pure function of its spec"
-        )
-
-
-def _require_executor_seed(executor, seed) -> None:
-    """Sweep-level sharding is reproducible-by-construction — enforce it.
-
-    The sharded drivers are seeded by per-cell master-seed children; a
-    sweep run with ``executor=`` but no ``seed=`` would draw fresh
-    entropy per cell, making the run irreproducible and (in the family
-    sweep) colliding with the legacy shared-``rng`` plumbing.  Direct
-    estimator calls may still run seedless; sweeps must not.
-    """
-    if executor is not None and seed is None:
-        raise ValueError(
-            "sweep-level executor= runs every cell on seeded per-replica "
-            "streams; pass seed= (an int or SeedSequence) so the sharded "
-            "sweep is reproducible"
-        )
 
 
 def _described_factories(store_tag: str | None, **factories) -> object:
@@ -270,11 +245,10 @@ def ensemble_beta_sweep(
     replaces the game identity, so reusing a tag across games cannot
     collide their caches.
     """
-    if seed is not None and rng is not None:
-        raise ValueError("pass seed= or rng=, not both")
+    reject_seed_rng_conflict(seed, rng)
     store = as_store(store)
-    _require_store_seed(store, seed)
-    _require_executor_seed(executor, seed)
+    require_store_seed(store, seed)
+    require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
     root = (
         seed
@@ -366,6 +340,7 @@ def dynamics_family_sweep(
     executor=None,
     store=None,
     store_tag: str | None = None,
+    tail_q: float | None = None,
 ) -> SweepResult:
     """Compare dynamics families on one game via the batched engine.
 
@@ -414,18 +389,31 @@ def dynamics_family_sweep(
     identifies itself by content (``store_spec()``); ``store_tag`` *adds*
     a caller-owned label to every cell spec (useful to disambiguate games
     without a ``store_spec``) — it never replaces the game identity.
+
+    ``tail_q`` (requires ``escape_states``) adds a certified quantile of
+    the horizon-truncated escape time per family: a
+    :class:`~repro.stats.quantile.QuantileCS` evaluated once over the
+    fixed escape ensemble (one-shot use of the time-uniform boundary —
+    conservative, never invalid, same caveat as the welfare interval),
+    reported in ``extra`` as ``escape_quantile_q`` /
+    ``escape_quantile`` / ``escape_quantile_lower`` /
+    ``escape_quantile_upper``.
     """
+    if tail_q is not None and escape_states is None:
+        raise ValueError(
+            "tail_q certifies a quantile of the escape time; pass "
+            "escape_states to say which well the escapes are measured from"
+        )
     if isinstance(dynamics_factories, Mapping):
         entries = list(dynamics_factories.items())
     else:
         entries = list(dynamics_factories)
     if not entries:
         raise ValueError("need at least one dynamics factory to sweep")
-    if seed is not None and rng is not None:
-        raise ValueError("pass seed= or rng=, not both")
+    reject_seed_rng_conflict(seed, rng)
     store = as_store(store)
-    _require_store_seed(store, seed)
-    _require_executor_seed(executor, seed)
+    require_store_seed(store, seed)
+    require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
     root = (
         seed
@@ -468,6 +456,10 @@ def dynamics_family_sweep(
                     "randomness": "sharded" if executor is not None else "serial",
                     "seed": [describe(tv_seed), describe(escape_seed)],
                 }
+                # joins the spec only when set — pre-tail cells keep their
+                # content addresses
+                if tail_q is not None:
+                    spec["tail_q"] = float(tail_q)
                 cached = _cached_record(store, spec)
                 if cached is not None:
                     # parameter is the *current* position in the sweep order,
@@ -542,6 +534,24 @@ def dynamics_family_sweep(
                 extras["mean_escape_time"] = (
                     float(escaped.mean()) if escaped.size else float("nan")
                 )
+                if tail_q is not None:
+                    # quantile of the *truncated* escape time min(tau, horizon):
+                    # one-shot evaluation of the time-uniform quantile CS over
+                    # the fixed ensemble (conservative, never invalid)
+                    truncated = np.where(
+                        times < 0, max_escape_steps, times
+                    ).astype(float)
+                    tail_cs = QuantileCS(
+                        float(tail_q),
+                        alpha=welfare_alpha,
+                        support=(0.0, float(max_escape_steps)),
+                    )
+                    tail_cs.update(truncated)
+                    tail = tail_cs.result()
+                    extras["escape_quantile_q"] = float(tail.q)
+                    extras["escape_quantile"] = float(tail.estimate)
+                    extras["escape_quantile_lower"] = float(tail.lower)
+                    extras["escape_quantile_upper"] = float(tail.upper)
             record = SweepRecord(
                 parameter=float(position),
                 mixing_time=float(estimate.mixing_time_estimate),
@@ -600,6 +610,8 @@ def hitting_time_size_sweep(
     executor=None,
     store=None,
     store_tag: str | None = None,
+    q: float | None = None,
+    precision_quantile: float | None = None,
 ) -> SweepResult:
     """Monte-Carlo hitting-time scaling over system size, fully index-free.
 
@@ -651,8 +663,26 @@ def hitting_time_size_sweep(
     last completed cell.  The spec names the factories by
     ``module.qualname``; for lambdas pass ``store_tag=`` — a caller-owned
     stable name for the (game, start, target, dynamics) factory bundle.
+
+    ``q`` / ``precision_quantile`` (adaptive mode only; fractions of
+    ``max_steps``, like ``precision``) certify — and, with
+    ``precision_quantile``, stop on — a quantile of the truncated hitting
+    time per grid point, on the same sample stream as the mean; the
+    ``extra`` dict then also carries ``quantile_q``, ``quantile_estimate``,
+    ``quantile_lower`` and ``quantile_upper``.
     """
     rng = np.random.default_rng() if rng is None else rng
+    if q is None and precision_quantile is not None:
+        raise ValueError(
+            "precision_quantile= sets the tail interval's target width; pass "
+            "q= (the quantile level, e.g. 0.99) to say which quantile to "
+            "certify"
+        )
+    if q is not None and precision is None:
+        raise ValueError(
+            "the sweep's tail columns ride the adaptive estimator; pass "
+            "precision= (and seed=) together with q="
+        )
     store = as_store(store)
     if store is not None and precision is None:
         raise ValueError(
@@ -661,14 +691,11 @@ def hitting_time_size_sweep(
             "shared rng stream and cannot be cached coherently — pass "
             "precision= (and seed=)"
         )
-    if executor is not None and precision is None:
-        raise ValueError(
-            "executor= shards the adaptive (precision=) chunk sampler; the "
-            "fixed-replica path runs one shared-rng ensemble per size and "
-            "cannot be sharded — pass precision="
-        )
-    _require_store_seed(store, seed)
-    _require_executor_seed(executor, seed)
+    reject_executor_without_precision(
+        precision, executor, fixed_path="runs one shared-rng ensemble per size"
+    )
+    require_store_seed(store, seed)
+    require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
     records = []
     if precision is not None:
@@ -703,6 +730,12 @@ def hitting_time_size_sweep(
                         "max_replicas": int(max_replicas),
                         "seed": describe(cell_seed),
                     }
+                    # tail knobs join the spec only when set, so pre-tail
+                    # cells keep their content addresses (cache stability)
+                    if q is not None:
+                        spec["q"] = float(q)
+                    if precision_quantile is not None:
+                        spec["precision_quantile"] = float(precision_quantile)
                     cached = _cached_record(store, spec)
                     if cached is not None:
                         records.append(cached)
@@ -731,22 +764,30 @@ def hitting_time_size_sweep(
                     seed=cell_seed,
                     keep_samples=True,
                     executor=executor,
+                    q=q,
+                    precision_quantile=precision_quantile,
                 )
                 times = estimate.samples
+                extras = {
+                    "mean_hitting_time": float(estimate.estimate),
+                    "hitting_lower": float(estimate.lower),
+                    "hitting_upper": float(estimate.upper),
+                    "num_replicas_used": int(estimate.n),
+                    "stopped_early": bool(estimate.stopped_early),
+                    "truncated_fraction": float(
+                        np.count_nonzero(times >= max_steps) / times.size
+                    ),
+                }
+                if estimate.quantile is not None:
+                    extras["quantile_q"] = float(estimate.quantile.q)
+                    extras["quantile_estimate"] = float(estimate.quantile.estimate)
+                    extras["quantile_lower"] = float(estimate.quantile.lower)
+                    extras["quantile_upper"] = float(estimate.quantile.upper)
                 record = SweepRecord(
                     parameter=float(n),
                     mixing_time=float("nan"),
                     relaxation_time=float("nan"),
-                    extra={
-                        "mean_hitting_time": float(estimate.estimate),
-                        "hitting_lower": float(estimate.lower),
-                        "hitting_upper": float(estimate.upper),
-                        "num_replicas_used": int(estimate.n),
-                        "stopped_early": bool(estimate.stopped_early),
-                        "truncated_fraction": float(
-                            np.count_nonzero(times >= max_steps) / times.size
-                        ),
-                    },
+                    extra=extras,
                 )
                 records.append(
                     _store_record(store, spec, record) if store is not None else record

@@ -20,19 +20,20 @@ evaluation axis as well:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..core.logit import LogitDynamics
-from ..engine.ensemble import EnsembleSimulator
+from ..core.samplers import BurnInWelfareSampler
 from ..engine.kernels import require_sequential_dynamics
 from ..games.base import Game, pure_nash_equilibria
 from ..games.space import DENSE_PROFILE_CAP
 from ..stats.accumulators import StreamingEstimate
 from ..stats.adaptive import run_until_width
 from ..stats.confseq import EmpiricalBernsteinCS, NormalMixtureCS
+from ..stats.knobs import reject_quantile_knob_conflicts
+from ..stats.quantile import QuantileEstimate
 
 __all__ = [
     "social_welfare_vector",
@@ -78,30 +79,6 @@ def welfare_of_profiles(game: Game, profiles: np.ndarray) -> np.ndarray:
     return welfare
 
 
-@dataclass
-class _BurnInWelfareSampler:
-    """Picklable chunk sampler: welfare of seeded replicas after burn-in.
-
-    Module-level (process-backend picklable) payload of
-    :func:`estimate_stationary_welfare`: each seed child drives one
-    replica for ``num_steps`` steps and contributes the utilitarian
-    welfare of its final profile — index-based below the int64 ceiling,
-    :func:`welfare_of_profiles` beyond it.
-    """
-
-    game: Game
-    dynamics: object
-    start: object
-    num_steps: int
-
-    def __call__(self, children) -> np.ndarray:
-        sim = EnsembleSimulator.seeded(self.dynamics, children, start=self.start)
-        sim.run(self.num_steps)
-        if self.game.space.fits_int64:
-            return self.game.utility_profile_many(sim.indices).sum(axis=1)
-        return welfare_of_profiles(self.game, sim.profiles)
-
-
 def estimate_stationary_welfare(
     game: Game,
     beta: float,
@@ -116,6 +93,8 @@ def estimate_stationary_welfare(
     dynamics=None,
     support: tuple[float, float] | str | None = "auto",
     executor=None,
+    q: float | None = None,
+    precision_quantile: float | None = None,
 ) -> StreamingEstimate:
     """Sampled ``E[W(X_T)]`` with an anytime-valid confidence interval.
 
@@ -150,12 +129,22 @@ def estimate_stationary_welfare(
     :class:`repro.parallel.ShardedExecutor`) shards every replica chunk
     across processes; pooled welfare samples are bit-for-bit identical to
     the serial run for any shard count.
+
+    ``q`` certifies a quantile of the burn-in welfare on the same sample
+    stream (attached to the result's ``quantile`` field) and
+    ``precision_quantile`` — absolute welfare units, like ``precision`` —
+    makes the tail interval a stopping target as well; both need a
+    bounded ``support``.
     """
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
     require_sequential_dynamics(dynamics)
     if precision is not None and precision <= 0:
         raise ValueError("precision must be positive (absolute welfare units)")
+    if precision_quantile is not None and precision_quantile <= 0:
+        raise ValueError(
+            "precision_quantile must be positive (absolute welfare units)"
+        )
     n = game.space.num_players
     if num_steps is None:
         num_steps = 100 * n
@@ -167,6 +156,7 @@ def estimate_stationary_welfare(
             support = (float(welfare.min()), float(welfare.max()))
         else:
             support = None
+    reject_quantile_knob_conflicts(q, precision_quantile, support)
     if support is not None and support[0] == support[1]:
         # constant welfare: every sample equals the mean, no interval needed
         value = float(support[0])
@@ -174,21 +164,33 @@ def estimate_stationary_welfare(
             estimate=value, lower=value, upper=value, n=0,
             stopped_early=False, alpha=float(alpha),
             target_width=precision,
+            quantile=(
+                QuantileEstimate(
+                    q=float(q), estimate=value, lower=value, upper=value,
+                    n=0, alpha=float(alpha), target_width=precision_quantile,
+                )
+                if q is not None
+                else None
+            ),
         )
 
     if support is not None:
         cs = EmpiricalBernsteinCS(alpha=alpha, support=support)
     else:
         cs = NormalMixtureCS(alpha=alpha)
+    adaptive = precision is not None or precision_quantile is not None
     return run_until_width(
-        _BurnInWelfareSampler(game, dynamics, start, int(num_steps)),
+        BurnInWelfareSampler(game, dynamics, start, int(num_steps)),
         target_width=float(precision) if precision is not None else 0.0,
         alpha=alpha,
-        max_n=max_replicas if precision is not None else num_replicas,
+        max_n=max_replicas if adaptive else num_replicas,
         chunk_size=chunk_size,
         seed=seed,
         cs=cs,
         executor=executor,
+        support=support,
+        q=q,
+        precision_quantile=precision_quantile,
     )
 
 

@@ -27,13 +27,11 @@ that picture quantitative:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..engine.backend import resolve_backend
-from ..engine.ensemble import EnsembleSimulator
 from ..engine.kernels import require_sequential_dynamics
 from ..games.base import Game
 from ..games.potential import PotentialGame
@@ -41,7 +39,18 @@ from ..markov.chain import MarkovChain
 from ..markov.tv import total_variation
 from ..stats.accumulators import StreamingEstimate
 from ..stats.adaptive import run_until_width
+from ..stats.knobs import (
+    reject_executor_without_precision,
+    reject_fixed_mode_knobs,
+    reject_quantile_knob_conflicts,
+)
 from .logit import LogitDynamics
+from .samplers import (
+    TruncatedGibbsEscapeSampler,
+    TruncatedHittingSampler,
+    TruncatedPredicateEscapeSampler,
+    check_start_inside_well,
+)
 
 __all__ = [
     "restricted_chain",
@@ -169,136 +178,9 @@ def _conditional_gibbs_weights(game: Game, beta: float, idx: np.ndarray) -> np.n
     return weights
 
 
-def _reject_fixed_mode_arguments(
-    num_replicas: int | None, rng: np.random.Generator | None
-) -> None:
-    """Adaptive mode sizes and seeds the run itself; accepting-and-ignoring
-    the fixed-mode knobs would silently change what the caller asked for."""
-    if num_replicas is not None:
-        raise ValueError(
-            "num_replicas is the fixed-mode replica count; adaptive "
-            "(precision=) mode chooses its own sample size — set the budget "
-            "with max_replicas instead"
-        )
-    if rng is not None:
-        raise ValueError(
-            "rng seeds the fixed-mode run; adaptive (precision=) mode draws "
-            "per-replica streams from SeedSequence children — pass seed= "
-            "(an int or SeedSequence) for reproducibility"
-        )
-
-
-def _reject_executor_without_precision(precision, executor) -> None:
-    """``executor=`` only shards adaptive chunk samplers; refuse elsewhere.
-
-    The fixed-replica path advances one ensemble from a single shared
-    ``rng`` stream, which cannot be split across processes without
-    changing the samples — accepting-and-ignoring the knob would silently
-    run serial.
-    """
-    if precision is None and executor is not None:
-        raise ValueError(
-            "executor= shards the adaptive (precision=) chunk sampler; the "
-            "fixed-replica path runs one shared-rng ensemble and cannot be "
-            "sharded — pass precision= (and seed=) to use an executor"
-        )
-
-
-@dataclass
-class _TruncatedHittingSampler:
-    """Picklable chunk sampler: seeded first-hitting times, horizon-truncated.
-
-    One instance is the whole shard payload — dynamics, shared start and
-    target set travel with it (module-level class, so the process backend
-    of :class:`repro.parallel.ShardedExecutor` can pickle it); ``-1``
-    not-reached entries are truncated to ``max_steps`` so the samples are
-    the bounded estimand ``min(tau, max_steps)``.
-    """
-
-    dynamics: object
-    start: object
-    targets: object
-    max_steps: int
-    #: the *resolved* array backend (resolved once in the coordinator so the
-    #: numba-fallback warning fires there, visibly, not once per worker)
-    backend: object = "numpy"
-
-    def __call__(self, children) -> np.ndarray:
-        sim = EnsembleSimulator.seeded(
-            self.dynamics, children, start=self.start, backend=self.backend
-        )
-        times = sim.hitting_times(self.targets, max_steps=self.max_steps)
-        return np.where(times < 0, self.max_steps, times).astype(float)
-
-
-@dataclass
-class _TruncatedPredicateEscapeSampler:
-    """Picklable chunk sampler: escape times of a predicate well.
-
-    Every replica starts at the same ``(n,)`` profile (validated to lie
-    inside the well before any step runs) and escapes when the predicate
-    first turns false; times are truncated at the horizon like the
-    hitting sampler's.
-    """
-
-    dynamics: object
-    start_profile: np.ndarray
-    states: object
-    max_steps: int
-    backend: object = "numpy"
-
-    def __call__(self, children) -> np.ndarray:
-        sim = EnsembleSimulator.seeded(
-            self.dynamics, children, start=self.start_profile, backend=self.backend
-        )
-        _check_start_inside_well(self.states, sim, len(children))
-        times = sim.exit_times(self.states, max_steps=self.max_steps)
-        return np.where(times < 0, self.max_steps, times).astype(float)
-
-
-@dataclass
-class _TruncatedGibbsEscapeSampler:
-    """Picklable chunk sampler: escape times of an index well, Gibbs starts.
-
-    Each replica's start is drawn from the conditional-Gibbs weights using
-    its own stream, then the same stream drives its trajectory — the whole
-    sample is a pure function of the replica's seed child, which is what
-    keeps pooled samples invariant to chunking *and* sharding.
-    """
-
-    dynamics: object
-    well: np.ndarray
-    weights: np.ndarray
-    max_steps: int
-    backend: object = "numpy"
-
-    def __call__(self, children) -> np.ndarray:
-        gens = [np.random.default_rng(c) for c in children]
-        starts = self.well[
-            [int(g.choice(self.well.size, p=self.weights)) for g in gens]
-        ]
-        sim = EnsembleSimulator.seeded(
-            self.dynamics, gens, start_indices=starts, backend=self.backend
-        )
-        times = sim.exit_times(self.well, max_steps=self.max_steps)
-        return np.where(times < 0, self.max_steps, times).astype(float)
-
-
-def _check_start_inside_well(states, sim, count: int) -> None:
-    """Escape times from outside the set would all read 0 — reject early."""
-    inside0 = np.asarray(states(sim.profiles), dtype=bool)
-    if not np.all(inside0):
-        raise ValueError(
-            "start_profiles must lie inside the well: the predicate is "
-            f"False for {int(np.count_nonzero(~inside0))} of "
-            f"{count} replicas at time 0 (escape times from "
-            f"outside the set would all read 0)"
-        )
-
-
 def _adaptive_truncated_times(
     sampler,
-    precision: float,
+    precision: float | None,
     alpha: float,
     max_steps: int,
     chunk_size: int,
@@ -306,24 +188,32 @@ def _adaptive_truncated_times(
     seed,
     keep_samples: bool,
     executor=None,
+    q: float | None = None,
+    precision_quantile: float | None = None,
 ) -> StreamingEstimate:
     """Adaptive driver shared by the hitting/escape estimators.
 
     ``sampler(children)`` maps spawned SeedSequence children to per-replica
     first-passage times *truncated at the horizon* (``-1`` not-reached
     entries count as ``max_steps``), so the estimand is the bounded
-    quantity ``E[min(tau, max_steps)]`` and the empirical-Bernstein CS
-    applies with support ``[0, max_steps]``.  ``precision`` is relative to
-    that support: the driver stops when the interval is at most
-    ``precision * max_steps`` wide.  ``executor`` shards each chunk across
-    processes without changing any sample (see
+    quantity ``min(tau, max_steps)`` and the empirical-Bernstein CS
+    applies with support ``[0, max_steps]``.  ``precision`` (mean target)
+    and ``precision_quantile`` (``q``-quantile target) are relative to
+    that support: the driver stops when every requested interval is at
+    most ``precision * max_steps`` (resp. ``precision_quantile *
+    max_steps``) wide.  ``executor`` shards each chunk across processes
+    without changing any sample (see
     :func:`repro.stats.adaptive.run_until_width`).
     """
-    if not 0 < precision:
+    if precision is not None and not 0 < precision:
         raise ValueError("precision must be positive (fraction of max_steps)")
+    if precision_quantile is not None and not 0 < precision_quantile:
+        raise ValueError(
+            "precision_quantile must be positive (fraction of max_steps)"
+        )
     return run_until_width(
         sampler,
-        target_width=float(precision) * float(max_steps),
+        target_width=float(precision) * float(max_steps) if precision else 0.0,
         alpha=alpha,
         max_n=max_replicas,
         chunk_size=chunk_size,
@@ -331,6 +221,12 @@ def _adaptive_truncated_times(
         seed=seed,
         keep_samples=keep_samples,
         executor=executor,
+        q=q,
+        precision_quantile=(
+            float(precision_quantile) * float(max_steps)
+            if precision_quantile is not None
+            else None
+        ),
     )
 
 
@@ -352,6 +248,8 @@ def empirical_escape_times(
     keep_samples: bool = True,
     executor=None,
     backend="numpy",
+    q: float | None = None,
+    precision_quantile: float | None = None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -408,16 +306,26 @@ def empirical_escape_times(
     instance); it is resolved once here — so a numba-unavailable fallback
     warns exactly once, in this process — and the resolved instance is
     what the (possibly sharded) samplers use.
+
+    ``q`` certifies a quantile of the truncated escape time on the same
+    sample stream (e.g. ``q=0.99`` for the P99), attached to the result's
+    ``quantile`` field; ``precision_quantile`` (a fraction of
+    ``max_steps``, like ``precision``) additionally makes the tail
+    interval a stopping target.  Passing ``q=`` alone switches to
+    adaptive mode exactly like ``precision=`` does.
     """
-    if precision is not None:
-        _reject_fixed_mode_arguments(num_replicas, rng)
-    _reject_executor_without_precision(precision, executor)
+    adaptive = precision is not None or q is not None
+    reject_quantile_knob_conflicts(q, precision_quantile, (0.0, float(max_steps)))
+    if adaptive:
+        reject_fixed_mode_knobs(num_replicas, rng)
+    else:
+        reject_executor_without_precision(precision, executor)
     backend = resolve_backend(backend)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     rng = np.random.default_rng() if rng is None else rng
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
-    if precision is not None:
+    if adaptive:
         require_sequential_dynamics(dynamics)
     if callable(states):
         if start_distribution is not None:
@@ -432,7 +340,7 @@ def empirical_escape_times(
                 "profiles inside the well)"
             )
 
-        if precision is not None:
+        if adaptive:
             profile = np.asarray(start_profiles)
             if profile.ndim != 1:
                 raise ValueError(
@@ -441,16 +349,17 @@ def empirical_escape_times(
                     "samples to one fixed replica count"
                 )
             return _adaptive_truncated_times(
-                _TruncatedPredicateEscapeSampler(
+                TruncatedPredicateEscapeSampler(
                     dynamics, profile, states, int(max_steps), backend
                 ),
                 precision, alpha, max_steps,
                 chunk_size, max_replicas, seed, keep_samples, executor,
+                q, precision_quantile,
             )
         sim = dynamics.ensemble(
             num_replicas, start=np.asarray(start_profiles), rng=rng, backend=backend
         )
-        _check_start_inside_well(states, sim, num_replicas)
+        check_start_inside_well(states, sim, num_replicas)
         return sim.exit_times(states, max_steps=max_steps)
     if start_profiles is not None:
         raise ValueError("start_profiles is only for predicate wells; use "
@@ -466,11 +375,12 @@ def empirical_escape_times(
         if total <= 0:
             raise ValueError("start_distribution must have positive mass")
         weights = weights / total
-    if precision is not None:
+    if adaptive:
         return _adaptive_truncated_times(
-            _TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps), backend),
+            TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps), backend),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
+            q, precision_quantile,
         )
     starts = rng.choice(idx, size=num_replicas, p=weights)
     sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng, backend=backend)
@@ -494,6 +404,8 @@ def empirical_hitting_times(
     keep_samples: bool = True,
     executor=None,
     backend="numpy",
+    q: float | None = None,
+    precision_quantile: float | None = None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
@@ -524,10 +436,19 @@ def empirical_hitting_times(
     engine's array backend, resolved once in this (coordinator) process so
     a numba-unavailable fallback warns exactly once and visibly (see
     :func:`empirical_escape_times` for both).
+
+    ``q`` / ``precision_quantile`` certify (and optionally stop on) a
+    quantile of the truncated hitting time — e.g. ``q=0.99,
+    precision_quantile=0.01`` runs until the P99 time-to-hit is pinned to
+    within ``0.01 * max_steps`` — on the same sample stream as the mean
+    (see :func:`empirical_escape_times`).
     """
-    if precision is not None:
-        _reject_fixed_mode_arguments(num_replicas, rng)
-    _reject_executor_without_precision(precision, executor)
+    adaptive = precision is not None or q is not None
+    reject_quantile_knob_conflicts(q, precision_quantile, (0.0, float(max_steps)))
+    if adaptive:
+        reject_fixed_mode_knobs(num_replicas, rng)
+    else:
+        reject_executor_without_precision(precision, executor)
     backend = resolve_backend(backend)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     if dynamics is None:
@@ -536,7 +457,7 @@ def empirical_hitting_times(
         start_state: np.ndarray | int = int(start)
     else:
         start_state = np.asarray(start, dtype=np.int64)
-    if precision is not None:
+    if adaptive:
         require_sequential_dynamics(dynamics)
         if isinstance(start_state, np.ndarray) and start_state.ndim != 1:
             raise ValueError(
@@ -546,11 +467,12 @@ def empirical_hitting_times(
             )
 
         return _adaptive_truncated_times(
-            _TruncatedHittingSampler(
+            TruncatedHittingSampler(
                 dynamics, start_state, targets, int(max_steps), backend
             ),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
+            q, precision_quantile,
         )
     sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng, backend=backend)
     return sim.hitting_times(targets, max_steps=max_steps)

@@ -34,6 +34,10 @@ from ..markov.spectral import SpectralSummary, relaxation_mixing_bounds, spectra
 from ..markov.tv import total_variation
 from ..parallel.sharding import claim_executor, shard_plan
 from ..stats.confseq import checkpoint_alpha, tv_distance_band
+from ..stats.knobs import (
+    reject_rng_with_sharded_driver,
+    reject_seed_without_sharded_driver,
+)
 from .logit import LogitDynamics
 
 __all__ = [
@@ -418,11 +422,7 @@ def estimate_tv_convergence(
     backend = resolve_backend(backend)
     sharder, owned = claim_executor(executor)
     if sharder is not None:
-        if rng is not None:
-            raise ValueError(
-                "rng drives the serial ensemble; the sharded (executor=) "
-                "driver seeds one stream per replica — pass seed= instead"
-            )
+        reject_rng_with_sharded_driver(rng)
         if check_every is None:
             check_every = max(1, space.num_players)
         try:
@@ -442,12 +442,7 @@ def estimate_tv_convergence(
         finally:
             if owned:
                 sharder.close()
-    if seed is not None:
-        raise ValueError(
-            "seed= selects the sharded (executor=) driver's per-replica "
-            "streams; the serial path is driven by rng= — pass one or the "
-            "other, not a dangling seed"
-        )
+    reject_seed_without_sharded_driver(seed)
     sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode, backend=backend)
     budget = sim.kernel.remaining_steps(sim)
     if budget is not None:

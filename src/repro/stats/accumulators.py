@@ -151,6 +151,10 @@ class StreamingEstimate:
     target_width: float | None = None
     #: Pooled raw samples, in consumption order (``None`` when not kept).
     samples: np.ndarray | None = field(default=None, repr=False)
+    #: Tail companion when the driver ran with ``q=`` — the
+    #: :class:`~repro.stats.quantile.QuantileEstimate` certified on the
+    #: same sample stream (``None`` otherwise).
+    quantile: object | None = field(default=None, repr=False)
 
     @property
     def width(self) -> float:

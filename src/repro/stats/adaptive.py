@@ -9,24 +9,25 @@ the pooled sample stream is a pure function of the master seed: splitting
 the same budget into chunks of 1, 7 or 64 produces bit-for-bit identical
 pooled samples (``tests/test_adaptive_estimators.py`` pins this), and a
 re-run with the same seed reproduces the published interval exactly.
+
+The sampling loop itself lives in :class:`~repro.stats.stream.SampleDriver`
+— one stream, many consumers — and this module is its estimator-facing
+wrapper: it registers the standard consumers (mean CS, Welford moments,
+and, with ``q=``, a :class:`~repro.stats.quantile.QuantileCS` tail
+accumulator) plus the stopping rule, and packages the result.
 """
 
 from __future__ import annotations
-
-from typing import Callable, Sequence
 
 import numpy as np
 
 from .accumulators import StreamingEstimate, StreamingMoments
 from .confseq import EmpiricalBernsteinCS, NormalMixtureCS
+from .knobs import reject_quantile_knob_conflicts
+from .quantile import QuantileCS
+from .stream import ChunkSampler, SampleDriver
 
-__all__ = ["run_until_width"]
-
-#: A chunk sampler: receives one spawned :class:`numpy.random.SeedSequence`
-#: per requested sample and returns that many samples, sample ``i`` derived
-#: from child ``i`` only (the discipline that makes pooled samples
-#: independent of the chunking).
-ChunkSampler = Callable[[Sequence[np.random.SeedSequence]], np.ndarray]
+__all__ = ["ChunkSampler", "run_until_width"]
 
 
 def run_until_width(
@@ -40,6 +41,9 @@ def run_until_width(
     cs=None,
     keep_samples: bool = True,
     executor=None,
+    q: float | None = None,
+    precision_quantile: float | None = None,
+    quantile_grid: int = 512,
 ) -> StreamingEstimate:
     """Sample in chunks until the confidence interval is ``target_width`` wide.
 
@@ -53,8 +57,8 @@ def run_until_width(
         samples identical for every chunk size.
     target_width:
         Stop as soon as ``upper - lower <= target_width`` (in the units of
-        the samples).  ``0`` (or negative) disables early stopping and runs
-        the full ``max_n`` budget.
+        the samples).  ``0`` (or negative) disables mean-width stopping;
+        with no tail target either, the full ``max_n`` budget runs.
     alpha:
         Significance level of the confidence sequence; coverage is
         time-uniform, so stopping at the first tight-enough chunk does not
@@ -94,13 +98,30 @@ def run_until_width(
         sharding is purely a wall-clock knob.  The process backend
         requires a picklable ``make_chunk`` (a module-level function or
         class instance, not a lambda or closure).
+    q:
+        Quantile level to certify alongside the mean (e.g. ``0.99`` for
+        the P99): registers a time-uniform
+        :class:`~repro.stats.quantile.QuantileCS` on the *same* sample
+        stream and attaches its :class:`~repro.stats.quantile.QuantileEstimate`
+        to the result's ``quantile`` field.  Requires ``support`` (the
+        threshold grid spans it).
+    precision_quantile:
+        Target width for the quantile interval, in sample units: the run
+        also stops once the ``q``-quantile interval is at most this wide.
+        When both ``target_width`` and ``precision_quantile`` are active,
+        *both* intervals must be tight before the driver stops.  Requires
+        ``q``.
+    quantile_grid:
+        Threshold-grid resolution of the quantile CS (interval endpoints
+        are quantised to grid values).
 
     Returns
     -------
     StreamingEstimate
         The pooled sample mean with its time-uniform ``(1 - alpha)``
         interval at the stopping time, the sample count consumed, the
-        ``stopped_early`` flag, and (``keep_samples``) the raw samples.
+        ``stopped_early`` flag, (``keep_samples``) the raw samples, and
+        (``q=``) the quantile estimate from the same stream.
 
     Example
     -------
@@ -129,65 +150,76 @@ def run_until_width(
     True
     >>> (est.lower, est.upper) == (sharded.lower, sharded.upper)
     True
-    """
-    from ..parallel.sharding import claim_executor, pool_shard_samples
 
-    if max_n < 1:
-        raise ValueError("max_n must be positive")
-    chunk_size = max(int(chunk_size), 1)
-    sharder, owned = claim_executor(executor)
+    A tail estimate rides the same stream — the samples are unchanged:
+
+    >>> tailed = run_until_width(
+    ...     one_uniform, target_width=0.0, max_n=24, chunk_size=8,
+    ...     support=(0.0, 1.0), seed=5, q=0.9,
+    ... )
+    >>> bool(np.array_equal(est.samples, tailed.samples))
+    True
+    >>> tailed.quantile.q
+    0.9
+    """
+    reject_quantile_knob_conflicts(q, precision_quantile, support)
     if cs is None:
         if support is not None:
             cs = EmpiricalBernsteinCS(alpha=alpha, support=support)
         else:
             cs = NormalMixtureCS(alpha=alpha)
-    root = (
-        seed
-        if isinstance(seed, np.random.SeedSequence)
-        else np.random.SeedSequence(seed)
+    driver = SampleDriver(
+        make_chunk,
+        seed=seed,
+        chunk_size=chunk_size,
+        max_n=max_n,
+        executor=executor,
+        keep_samples=keep_samples,
     )
-    # absolute spawn position of the next child, so sharded chunks can
-    # reconstruct their seed blocks without the root's mutable cursor
-    base = root.n_children_spawned
-    moments = StreamingMoments()
-    pooled: list[np.ndarray] = []
-    n = 0
-    lower = -np.inf
-    upper = np.inf
-    try:
-        while n < max_n:
-            k = min(chunk_size, max_n - n)
-            if sharder is None:
-                children = root.spawn(k)
-                samples = np.asarray(make_chunk(children), dtype=float)
-            else:
-                shards = sharder.map_chunk(make_chunk, root, base + n, k)
-                samples = pool_shard_samples(shards)
-                root.spawn(k)  # keep the root's cursor consistent with serial use
-            if samples.shape != (k,):
-                raise ValueError(
-                    f"make_chunk returned shape {samples.shape} for {k} children; "
-                    f"the driver needs exactly one sample per spawned child"
-                )
-            cs.update(samples)
-            moments.update(samples)
-            if keep_samples:
-                pooled.append(samples)
-            n += k
-            lower, upper = (float(b) for b in cs.interval())
-            if target_width > 0 and upper - lower <= target_width:
-                break
-    finally:
-        if owned:
-            sharder.close()
-    width_reached = upper - lower <= target_width if target_width > 0 else False
+    driver.register(cs)
+    moments = driver.register(StreamingMoments())
+    qcs = None
+    if q is not None:
+        qcs = driver.register(
+            QuantileCS(q, alpha=alpha, support=support, grid_size=quantile_grid)
+        )
+
+    state = {"lower": -np.inf, "upper": np.inf}
+
+    def tail_width() -> float:
+        q_lower, q_upper = qcs.interval()
+        return q_upper - q_lower
+
+    def targets_met() -> list[bool]:
+        met = []
+        if target_width > 0:
+            met.append(state["upper"] - state["lower"] <= target_width)
+        if precision_quantile is not None:
+            met.append(tail_width() <= precision_quantile)
+        return met
+
+    def stop() -> bool:
+        state["lower"], state["upper"] = (float(b) for b in cs.interval())
+        met = targets_met()
+        return bool(met) and all(met)
+
+    n = driver.run(stop)
+    met = targets_met()
+    width_reached = bool(met) and all(met)
     return StreamingEstimate(
         estimate=float(moments.mean),
-        lower=lower,
-        upper=upper,
+        lower=state["lower"],
+        upper=state["upper"],
         n=n,
         stopped_early=bool(width_reached and n < max_n),
         alpha=float(alpha),
         target_width=float(target_width) if target_width > 0 else None,
-        samples=np.concatenate(pooled) if keep_samples and pooled else None,
+        samples=driver.samples,
+        quantile=(
+            qcs.result(
+                float(precision_quantile) if precision_quantile is not None else None
+            )
+            if qcs is not None
+            else None
+        ),
     )

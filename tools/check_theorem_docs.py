@@ -13,7 +13,11 @@ The paper-to-code table is only useful while it is *true*; this checker
    ``bench_lem*.py`` file the doc never mentions (every theorem
    experiment must appear in the table);
 4. **dead file references** — a ``benchmarks/*.py`` / ``tests/*.py`` path
-   mentioned in the doc that does not exist on disk.
+   mentioned in the doc that does not exist on disk;
+5. **estimator-table drift** — a name exported by ``repro.stats.__all__``
+   that README.md never mentions in backticks (the README's estimator
+   table documents the statistics subsystem's public surface; a new
+   export must be documented there).
 """
 
 from __future__ import annotations
@@ -24,11 +28,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "THEOREMS.md"
+README_PATH = REPO_ROOT / "README.md"
 BOUND_NAME = re.compile(r"^(theorem|lemma)[0-9][0-9a-z_]*$")
 
 
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro.stats as stats
     from repro.core import bounds
 
     text = DOC_PATH.read_text(encoding="utf-8")
@@ -71,15 +77,31 @@ def main() -> int:
         if not (REPO_ROOT / path).exists():
             errors.append(f"dead reference: {path} is cited but does not exist")
 
+    # README estimator-table drift: a token is "mentioned" when it appears
+    # backticked anywhere, alone or inside a call signature like
+    # `run_until_width(executor=...)`
+    readme = README_PATH.read_text(encoding="utf-8")
+    readme_tokens = {
+        word
+        for token in re.findall(r"`([^`\n]+)`", readme)
+        for word in re.findall(r"[A-Za-z_][A-Za-z0-9_]*", token)
+    }
+    for name in sorted(set(stats.__all__) - readme_tokens):
+        errors.append(
+            f"estimator-table drift: repro.stats.{name} is exported but "
+            f"README.md never mentions it in backticks"
+        )
+
     if errors:
-        print(f"THEOREMS.md cross-reference check FAILED ({len(errors)} problems):")
+        print(f"docs cross-reference check FAILED ({len(errors)} problems):")
         for error in errors:
             print(f"  - {error}")
         return 1
     print(
-        f"THEOREMS.md cross-reference check passed: "
+        f"docs cross-reference check passed: "
         f"{len(doc_bound_names)} bound callables, {len(bench_files)} theorem "
-        f"experiments, {len(referenced_paths)} file references verified."
+        f"experiments, {len(referenced_paths)} file references, "
+        f"{len(stats.__all__)} repro.stats exports verified."
     )
     return 0
 
