@@ -37,7 +37,7 @@ import os
 import networkx as nx
 import numpy as np
 
-from perf_record import record_bench_cases
+from perf_record import bench_tracer, record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import empirical_hitting_times
 from repro.games import IsingGame
@@ -69,6 +69,16 @@ def measure_adaptive_savings() -> tuple[list[list[object]], dict[str, float]]:
     rows: list[list[object]] = []
     savings: dict[str, float] = {}
     target_width = PRECISION * MAX_STEPS
+    # one trace for the whole benchmark: each case's adaptive run appends
+    # its chunk counters and driver.convergence CS-width curve (the trace
+    # is exactly the "why did it stop there" record the smoke asserts on)
+    with bench_tracer("adaptive_stats") as tracer:
+        tracer.annotate(bench="adaptive_stats", precision=PRECISION, chunk=CHUNK)
+        rows, savings = _measure_cases(rows, savings, target_width, tracer)
+    return rows, savings
+
+
+def _measure_cases(rows, savings, target_width, tracer):
     for name, game in _cases():
         target = _consensus_target(game)
         common = dict(
@@ -78,7 +88,8 @@ def measure_adaptive_savings() -> tuple[list[list[object]], dict[str, float]]:
             max_replicas=MAX_REPLICAS,
         )
         adaptive = empirical_hitting_times(
-            game, BETA, 0, target, precision=PRECISION, seed=SEED, **common
+            game, BETA, 0, target, precision=PRECISION, seed=SEED,
+            tracer=tracer, **common
         )
         # the fixed-horizon baseline: what the hand-guessed max_replicas
         # budget costs, on the identical sample stream (same master seed)

@@ -33,7 +33,7 @@ import time
 import networkx as nx
 import numpy as np
 
-from perf_record import record_bench_cases
+from perf_record import bench_tracer, record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import LogitDynamics
 from repro.engine import numba_available
@@ -110,50 +110,69 @@ def measure_backend_scaling() -> tuple[list[list[object]], list[dict], dict[str,
     records: list[dict] = []
     speedups: dict[str, float] = {}
     have_numba = numba_available()
-    for name, topology, n in _cases():
-        game = IsingGame(_graph(topology, n), coupling=1.0)
-        dynamics = LogitDynamics(game, BETA)
-        start = np.zeros(game.space.num_players, dtype=np.int64)
-
-        sim = dynamics.ensemble(
-            REPLICAS, start=start, rng=np.random.default_rng(0), state="matrix"
+    # every case's engine.run timings, backend_resolved events — and,
+    # without numba, the structured backend_fallback event — land in
+    # TRACE_backend_scaling.jsonl next to the JSON record
+    with bench_tracer("backend_scaling") as tracer:
+        tracer.annotate(
+            bench="backend_scaling", replicas=REPLICAS, numba=have_numba
         )
-        sim.run(min(STEPS, 200))  # warmup (scratch buffers allocate here)
-        numpy_rate = _throughput(sim, STEPS)
+        if not have_numba:
+            # record the structured numba-fallback event in the trace — the
+            # numpy-only measurement below never requests backend="numba"
+            from repro.engine.backend import resolve_backend
 
-        numba_rate = None
-        if have_numba:
-            jit = dynamics.ensemble(
+            resolve_backend("numba", tracer=tracer)
+        for name, topology, n in _cases():
+            game = IsingGame(_graph(topology, n), coupling=1.0)
+            dynamics = LogitDynamics(game, BETA)
+            start = np.zeros(game.space.num_players, dtype=np.int64)
+
+            sim = dynamics.ensemble(
                 REPLICAS,
                 start=start,
                 rng=np.random.default_rng(0),
                 state="matrix",
-                backend="numba",
+                tracer=tracer,
             )
-            assert jit.backend.name == "numba"
-            jit.run(min(STEPS, 200))  # warmup includes JIT compilation
-            numba_rate = _throughput(jit, STEPS)
+            sim.run(min(STEPS, 200))  # warmup (scratch buffers allocate here)
+            numpy_rate = _throughput(sim, STEPS)
 
-        speedup = (numba_rate / numpy_rate) if numba_rate else 1.0
-        speedups[name] = speedup
-        rss = _peak_rss_mb()
-        rows.append([name, f"{numpy_rate:,.0f}",
-                     f"{numba_rate:,.0f}" if numba_rate else "n/a",
-                     f"{speedup:.1f}x", f"{rss:,.0f}"])
-        records.append(
-            {
-                "case": name,
-                "n": n,
-                "topology": topology,
-                "replicas": REPLICAS,
-                "steps": STEPS,
-                "steps_per_sec": numba_rate if numba_rate else numpy_rate,
-                "steps_per_sec_numpy": numpy_rate,
-                "steps_per_sec_numba": numba_rate,
-                "speedup": speedup,
-                "peak_rss_mb": rss,
-            }
-        )
+            numba_rate = None
+            if have_numba:
+                jit = dynamics.ensemble(
+                    REPLICAS,
+                    start=start,
+                    rng=np.random.default_rng(0),
+                    state="matrix",
+                    backend="numba",
+                    tracer=tracer,
+                )
+                assert jit.backend.name == "numba"
+                jit.run(min(STEPS, 200))  # warmup includes JIT compilation
+                numba_rate = _throughput(jit, STEPS)
+
+            speedup = (numba_rate / numpy_rate) if numba_rate else 1.0
+            speedups[name] = speedup
+            rss = _peak_rss_mb()
+            rows.append([name, f"{numpy_rate:,.0f}",
+                         f"{numba_rate:,.0f}" if numba_rate else "n/a",
+                         f"{speedup:.1f}x", f"{rss:,.0f}"])
+            records.append(
+                {
+                    "case": name,
+                    "n": n,
+                    "topology": topology,
+                    "replicas": REPLICAS,
+                    "steps": STEPS,
+                    "steps_per_sec": numba_rate if numba_rate else numpy_rate,
+                    "steps_per_sec_numpy": numpy_rate,
+                    "steps_per_sec_numba": numba_rate,
+                    "speedup": speedup,
+                    "peak_rss_mb": rss,
+                }
+            )
+            tracer.gauge(f"bench.steps_per_sec[{name}]", numpy_rate)
     return rows, records, speedups
 
 

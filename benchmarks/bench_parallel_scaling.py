@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from perf_record import record_bench_cases
+from perf_record import bench_tracer, record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import empirical_hitting_times
 from repro.games import IsingGame
@@ -69,7 +69,7 @@ class MagnetizationAtLeast:
         return self.game.magnetization_of_profiles(profiles) >= self.threshold
 
 
-def _run(game: IsingGame, executor) -> tuple[float, np.ndarray]:
+def _run(game: IsingGame, executor, tracer=None) -> tuple[float, np.ndarray]:
     """One full-budget adaptive run; returns (wall seconds, samples)."""
     start = np.zeros(game.num_players, dtype=np.int64)
     target = MagnetizationAtLeast(game, THRESHOLD)
@@ -86,6 +86,7 @@ def _run(game: IsingGame, executor) -> tuple[float, np.ndarray]:
         max_replicas=REPLICAS,
         seed=SEED,
         executor=executor,
+        tracer=tracer,
     )
     return time.perf_counter() - tic, estimate.samples
 
@@ -96,7 +97,13 @@ def measure_scaling() -> tuple[list[list[object]], float, np.ndarray, np.ndarray
         # warm the pool so worker start-up is not billed to the measurement
         executor.map_chunk(_warmup_sampler, np.random.SeedSequence(0), 0, WORKERS)
         serial_time, serial_samples = _run(game, None)
-        process_time, process_samples = _run(game, executor)
+        # the traced run is the sharded one — shard.dispatch/complete events
+        # and the load-imbalance ratio are what the trace is for; tracing
+        # never changes the sample stream, so the equality assertion below
+        # still compares like with like
+        with bench_tracer("parallel_scaling") as tracer:
+            tracer.annotate(bench="parallel_scaling", workers=WORKERS, n=N)
+            process_time, process_samples = _run(game, executor, tracer=tracer)
     speedup = serial_time / process_time
     rows = [
         ["serial", 1, f"{serial_time:.2f}s", ""],

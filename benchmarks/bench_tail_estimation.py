@@ -35,7 +35,7 @@ import os
 import networkx as nx
 import numpy as np
 
-from perf_record import record_bench_cases
+from perf_record import bench_tracer, record_bench_cases
 from repro.analysis import render_experiment
 from repro.core import empirical_hitting_times
 from repro.games import IsingGame
@@ -65,6 +65,16 @@ def measure_tail_savings() -> tuple[list[list[object]], dict[str, float]]:
     rows: list[list[object]] = []
     savings: dict[str, float] = {}
     target_width = PRECISION_QUANTILE * MAX_STEPS
+    # the adaptive runs write TRACE_tail_estimation.jsonl: the quantile
+    # CS's driver.convergence width curve is the record of why the run
+    # stopped where it did
+    with bench_tracer("tail_estimation") as tracer:
+        tracer.annotate(bench="tail_estimation", q=Q, precision=PRECISION_QUANTILE)
+        _measure_tail_cases(rows, savings, target_width, tracer)
+    return rows, savings
+
+
+def _measure_tail_cases(rows, savings, target_width, tracer) -> None:
     for name, game in _cases():
         target = _consensus_target(game)
         common = dict(
@@ -76,7 +86,8 @@ def measure_tail_savings() -> tuple[list[list[object]], dict[str, float]]:
             seed=SEED,
         )
         adaptive = empirical_hitting_times(
-            game, BETA, 0, target, precision_quantile=PRECISION_QUANTILE, **common
+            game, BETA, 0, target, precision_quantile=PRECISION_QUANTILE,
+            tracer=tracer, **common
         )
         # the fixed-replica baseline: what the hand-guessed max_replicas
         # budget costs, on the identical sample stream (same master seed)
@@ -115,7 +126,6 @@ def measure_tail_savings() -> tuple[list[list[object]], dict[str, float]]:
                 f"{baseline_width:.1f}", f"{savings[name]:.1f}x",
             ]
         )
-    return rows, savings
 
 
 def test_adaptive_tail_stopping_pays_for_itself(benchmark):

@@ -11,6 +11,11 @@ Records merge by case name: re-running one case of a benchmark at the
 same git revision updates that case and keeps the others; a new revision
 starts the record fresh (stale numbers from old code never mix with new
 ones).
+
+The smokes that exercise traced subsystems also write a
+``TRACE_<name>.jsonl`` event trace next to their ``BENCH_*.json`` via
+:func:`bench_tracer` — CI uploads both and runs
+``tools/trace_summary.py`` over the traces as a structural lint.
 """
 
 from __future__ import annotations
@@ -22,7 +27,33 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-__all__ = ["record_bench_cases", "git_rev", "REPO_ROOT"]
+__all__ = [
+    "bench_tracer",
+    "git_rev",
+    "record_bench_cases",
+    "trace_path",
+    "REPO_ROOT",
+]
+
+
+def trace_path(name: str) -> Path:
+    """Repo-root path of the ``TRACE_<name>.jsonl`` trace for a benchmark."""
+    return REPO_ROOT / f"TRACE_{name}.jsonl"
+
+
+def bench_tracer(name: str):
+    """Fresh :class:`repro.obs.Tracer` writing ``TRACE_<name>.jsonl``.
+
+    Truncates any previous trace for the benchmark first, so one file
+    always describes one run (mirroring the one-revision contract of the
+    ``BENCH_*.json`` records).  Close the tracer (or use it as a context
+    manager) to flush the sink.
+    """
+    from repro.obs import JsonlTraceSink, Tracer
+
+    path = trace_path(name)
+    path.unlink(missing_ok=True)
+    return Tracer(JsonlTraceSink(path))
 
 
 def git_rev() -> str:

@@ -26,7 +26,11 @@ Persiano — SPAA 2011 / arXiv:1212.1884).  The package provides:
   (:class:`~repro.parallel.ShardedExecutor`, bit-for-bit invariant to the
   shard count) and the resumable content-addressed experiment store
   (:class:`~repro.parallel.ExperimentStore`) behind the estimators' and
-  sweeps' ``executor=`` / ``store=`` knobs.
+  sweeps' ``executor=`` / ``store=`` knobs;
+* :mod:`repro.obs` — structured run telemetry behind the same entry
+  points' ``tracer=`` knob: counters, timers and JSONL trace events
+  across engine, sample driver, shards and store, a no-op default with
+  zero hot-path cost, and the ``tools/trace_summary.py`` renderer.
 
 Quickstart::
 
@@ -147,6 +151,14 @@ from .graphs import (
     cutwidth_known,
     cutwidth_of_ordering,
     ring_graph,
+)
+from .obs import (
+    JsonlTraceSink,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    as_tracer,
+    read_trace,
 )
 from .parallel import (
     ExperimentStore,
@@ -282,6 +294,13 @@ __all__ = [
     "cutwidth_known",
     "cutwidth_of_ordering",
     "ring_graph",
+    # obs
+    "JsonlTraceSink",
+    "NullTracer",
+    "RunManifest",
+    "Tracer",
+    "as_tracer",
+    "read_trace",
     # parallel
     "ExperimentStore",
     "ShardedExecutor",

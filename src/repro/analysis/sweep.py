@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..core.mixing import (
     measure_relaxation_time,
 )
 from ..games.base import Game
+from ..obs import as_tracer
 from ..parallel.sharding import claim_executor
 from ..parallel.store import as_store, describe
 from ..stats.confseq import NormalMixtureCS
@@ -135,6 +137,43 @@ def _store_record(store, spec, record: SweepRecord) -> SweepRecord:
     )
 
 
+def _trace_welfare_curve(
+    tracer, family: str, samples: np.ndarray, alpha: float, chunks: int = 12
+) -> None:
+    """Emit a CS-width-vs-n curve for the welfare samples, trace only.
+
+    The reported welfare interval is a one-shot evaluation over the full
+    ensemble; this replays the same samples through a *fresh*
+    :class:`~repro.stats.confseq.NormalMixtureCS` in prefix blocks so the
+    trace carries a ``driver.convergence`` curve without perturbing the
+    reported numbers (the final replayed interval coincides with the
+    reported one — the mixture boundary depends only on the pooled
+    sufficient statistics).
+    """
+    if not tracer.enabled:
+        return
+    samples = np.asarray(samples, dtype=float)
+    cs = NormalMixtureCS(alpha=alpha)
+    n = 0
+    for block in np.array_split(samples, min(chunks, max(samples.size, 1))):
+        if block.size == 0:
+            continue
+        cs.update(block)
+        n += block.size
+        try:
+            lower, upper = (float(bound) for bound in cs.interval())
+        except Exception:
+            continue
+        tracer.event(
+            "driver.convergence",
+            consumer=f"NormalMixtureCS[welfare:{family}]",
+            n=int(n),
+            lower=lower,
+            upper=upper,
+            width=upper - lower,
+        )
+
+
 @dataclass(frozen=True)
 class SweepRecord:
     """One point of a sweep: the parameters and the measured quantities."""
@@ -213,6 +252,7 @@ def ensemble_beta_sweep(
     executor=None,
     store=None,
     store_tag: str | None = None,
+    tracer=None,
 ) -> SweepResult:
     """Sampled mixing-time sweep via the batched replica ensemble.
 
@@ -244,9 +284,17 @@ def ensemble_beta_sweep(
     description when it has no stable name (a lambda) — it never
     replaces the game identity, so reusing a tag across games cannot
     collide their caches.
+
+    ``tracer`` (:mod:`repro.obs`) records the sweep's cell lifecycle —
+    ``sweep.begin`` / ``sweep.cell`` / ``sweep.end`` events plus
+    sweep-level ``store.hit`` / ``store.miss`` counters that agree with
+    :func:`~repro.analysis.report.provenance_summary` — and is threaded
+    through to the per-cell estimator; tracing never changes the sample
+    stream.
     """
     reject_seed_rng_conflict(seed, rng)
-    store = as_store(store)
+    tracer = as_tracer(tracer)
+    store = as_store(store, tracer=tracer)
     require_store_seed(store, seed)
     require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
@@ -255,10 +303,18 @@ def ensemble_beta_sweep(
         if isinstance(seed, np.random.SeedSequence) or seed is None
         else np.random.SeedSequence(seed)
     )
+    betas = [float(beta) for beta in betas]
+    if tracer.enabled:
+        tracer.event(
+            "sweep.begin",
+            sweep="ensemble_beta_sweep",
+            cells=len(betas),
+            store=store is not None,
+            sharded=executor is not None,
+        )
     records = []
     try:
         for beta in betas:
-            beta = float(beta)
             cell_seed = root.spawn(1)[0] if root is not None else None
             spec = None
             if store is not None:
@@ -280,8 +336,19 @@ def ensemble_beta_sweep(
                 }
                 cached = _cached_record(store, spec)
                 if cached is not None:
+                    if tracer.enabled:
+                        tracer.count("store.hit")
+                        tracer.event(
+                            "sweep.cell",
+                            sweep="ensemble_beta_sweep",
+                            cell=beta,
+                            provenance="store",
+                        )
                     records.append(cached)
                     continue
+            if store is not None and tracer.enabled:
+                tracer.count("store.miss")
+            tic = perf_counter() if tracer.enabled else 0.0
             estimate = estimate_mixing_time_ensemble(
                 game,
                 beta,
@@ -296,6 +363,7 @@ def ensemble_beta_sweep(
                 alpha=alpha,
                 executor=executor,
                 seed=cell_seed if executor is not None else None,
+                tracer=tracer,
             )
             extras = {
                 "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
@@ -315,6 +383,18 @@ def ensemble_beta_sweep(
             )
             records.append(
                 _store_record(store, spec, record) if store is not None else record
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "sweep.cell",
+                    sweep="ensemble_beta_sweep",
+                    cell=beta,
+                    provenance="computed",
+                    seconds=perf_counter() - tic,
+                )
+        if tracer.enabled:
+            tracer.event(
+                "sweep.end", sweep="ensemble_beta_sweep", cells=len(records)
             )
     finally:
         if owned_executor:
@@ -341,6 +421,7 @@ def dynamics_family_sweep(
     store=None,
     store_tag: str | None = None,
     tail_q: float | None = None,
+    tracer=None,
 ) -> SweepResult:
     """Compare dynamics families on one game via the batched engine.
 
@@ -398,6 +479,15 @@ def dynamics_family_sweep(
     reported in ``extra`` as ``escape_quantile_q`` /
     ``escape_quantile`` / ``escape_quantile_lower`` /
     ``escape_quantile_upper``.
+
+    ``tracer`` (:mod:`repro.obs`) records the sweep's cell lifecycle —
+    ``sweep.begin`` / ``sweep.cell`` / ``sweep.end`` events plus
+    sweep-level ``store.hit`` / ``store.miss`` counters that agree with
+    :func:`~repro.analysis.report.provenance_summary` — threads through
+    to the TV estimator and the escape ensemble, and replays each
+    family's welfare samples as a ``driver.convergence`` CS-width curve.
+    Tracing never changes the sample stream: traced and untraced runs of
+    the same seed produce bit-for-bit identical records.
     """
     if tail_q is not None and escape_states is None:
         raise ValueError(
@@ -411,7 +501,8 @@ def dynamics_family_sweep(
     if not entries:
         raise ValueError("need at least one dynamics factory to sweep")
     reject_seed_rng_conflict(seed, rng)
-    store = as_store(store)
+    tracer = as_tracer(tracer)
+    store = as_store(store, tracer=tracer)
     require_store_seed(store, seed)
     require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
@@ -421,6 +512,14 @@ def dynamics_family_sweep(
         else np.random.SeedSequence(seed)
     )
     rng = np.random.default_rng() if rng is None and root is None else rng
+    if tracer.enabled:
+        tracer.event(
+            "sweep.begin",
+            sweep="dynamics_family_sweep",
+            cells=len(entries),
+            store=store is not None,
+            sharded=executor is not None,
+        )
     records = []
     try:
         for position, (name, factory) in enumerate(entries):
@@ -462,6 +561,14 @@ def dynamics_family_sweep(
                     spec["tail_q"] = float(tail_q)
                 cached = _cached_record(store, spec)
                 if cached is not None:
+                    if tracer.enabled:
+                        tracer.count("store.hit")
+                        tracer.event(
+                            "sweep.cell",
+                            sweep="dynamics_family_sweep",
+                            cell=str(name),
+                            provenance="store",
+                        )
                     # parameter is the *current* position in the sweep order,
                     # not whatever position the cell was computed at
                     records.append(
@@ -473,6 +580,9 @@ def dynamics_family_sweep(
                         )
                     )
                     continue
+            if store is not None and tracer.enabled:
+                tracer.count("store.miss")
+            tic = perf_counter() if tracer.enabled else 0.0
             dynamics = factory(game)
             if reference is None:
                 if not hasattr(dynamics, "stationary_distribution"):
@@ -498,6 +608,7 @@ def dynamics_family_sweep(
                 ),
                 executor=executor,
                 seed=tv_seed if executor is not None else None,
+                tracer=tracer,
             )
             # utilitarian welfare of the settled ensemble: one batched
             # all-player utility gather over the final replica states, with a
@@ -509,6 +620,7 @@ def dynamics_family_sweep(
             welfare_cs = NormalMixtureCS(alpha=welfare_alpha)
             welfare_cs.update(welfare_samples)
             welfare_lower, welfare_upper = welfare_cs.interval()
+            _trace_welfare_curve(tracer, str(name), welfare_samples, welfare_alpha)
             extras: dict = {
                 "dynamics": name,
                 "tv_at_estimate": float(estimate.tv_curve[-1, 1]),
@@ -527,6 +639,7 @@ def dynamics_family_sweep(
                     num_replicas,
                     start_indices=escape_rng.choice(well, size=num_replicas),
                     rng=escape_rng,
+                    tracer=tracer,
                 )
                 times = sim.exit_times(well, max_steps=max_escape_steps)
                 escaped = times[times >= 0]
@@ -559,6 +672,18 @@ def dynamics_family_sweep(
                 extra=extras,
             )
             records.append(_store_record(store, spec, record) if store is not None else record)
+            if tracer.enabled:
+                tracer.event(
+                    "sweep.cell",
+                    sweep="dynamics_family_sweep",
+                    cell=str(name),
+                    provenance="computed",
+                    seconds=perf_counter() - tic,
+                )
+        if tracer.enabled:
+            tracer.event(
+                "sweep.end", sweep="dynamics_family_sweep", cells=len(records)
+            )
     finally:
         if owned_executor:
             executor.close()
@@ -612,6 +737,7 @@ def hitting_time_size_sweep(
     store_tag: str | None = None,
     q: float | None = None,
     precision_quantile: float | None = None,
+    tracer=None,
 ) -> SweepResult:
     """Monte-Carlo hitting-time scaling over system size, fully index-free.
 
@@ -670,8 +796,16 @@ def hitting_time_size_sweep(
     time per grid point, on the same sample stream as the mean; the
     ``extra`` dict then also carries ``quantile_q``, ``quantile_estimate``,
     ``quantile_lower`` and ``quantile_upper``.
+
+    ``tracer`` (:mod:`repro.obs`) records the sweep's cell lifecycle —
+    ``sweep.begin`` / ``sweep.cell`` / ``sweep.end`` events plus
+    sweep-level ``store.hit`` / ``store.miss`` counters that agree with
+    :func:`~repro.analysis.report.provenance_summary` — and threads
+    through to the adaptive estimator's sample driver; tracing never
+    changes the sample stream.
     """
     rng = np.random.default_rng() if rng is None else rng
+    tracer = as_tracer(tracer)
     if q is None and precision_quantile is not None:
         raise ValueError(
             "precision_quantile= sets the tail interval's target width; pass "
@@ -683,7 +817,7 @@ def hitting_time_size_sweep(
             "the sweep's tail columns ride the adaptive estimator; pass "
             "precision= (and seed=) together with q="
         )
-    store = as_store(store)
+    store = as_store(store, tracer=tracer)
     if store is not None and precision is None:
         raise ValueError(
             "store= caches adaptive (precision=) cells, which are pure "
@@ -697,6 +831,15 @@ def hitting_time_size_sweep(
     require_store_seed(store, seed)
     require_executor_seed(executor, seed)
     executor, owned_executor = claim_executor(executor)
+    sizes = [int(n) for n in sizes]
+    if tracer.enabled:
+        tracer.event(
+            "sweep.begin",
+            sweep="hitting_time_size_sweep",
+            cells=len(sizes),
+            store=store is not None,
+            sharded=executor is not None,
+        )
     records = []
     if precision is not None:
         root = (
@@ -738,8 +881,19 @@ def hitting_time_size_sweep(
                         spec["precision_quantile"] = float(precision_quantile)
                     cached = _cached_record(store, spec)
                     if cached is not None:
+                        if tracer.enabled:
+                            tracer.count("store.hit")
+                            tracer.event(
+                                "sweep.cell",
+                                sweep="hitting_time_size_sweep",
+                                cell=int(n),
+                                provenance="store",
+                            )
                         records.append(cached)
                         continue
+                if store is not None and tracer.enabled:
+                    tracer.count("store.miss")
+            tic = perf_counter() if tracer.enabled else 0.0
             game = game_factory(int(n))
             if dynamics_factory is None:
                 from ..core.logit import LogitDynamics
@@ -766,6 +920,7 @@ def hitting_time_size_sweep(
                     executor=executor,
                     q=q,
                     precision_quantile=precision_quantile,
+                    tracer=tracer,
                 )
                 times = estimate.samples
                 extras = {
@@ -792,9 +947,20 @@ def hitting_time_size_sweep(
                 records.append(
                     _store_record(store, spec, record) if store is not None else record
                 )
+                if tracer.enabled:
+                    tracer.event(
+                        "sweep.cell",
+                        sweep="hitting_time_size_sweep",
+                        cell=int(n),
+                        provenance="computed",
+                        seconds=perf_counter() - tic,
+                    )
                 continue
             sim = dynamics.ensemble(
-                num_replicas, start=np.asarray(start_factory(game)), rng=rng
+                num_replicas,
+                start=np.asarray(start_factory(game)),
+                rng=rng,
+                tracer=tracer,
             )
             times = sim.hitting_times(target_factory(game), max_steps=max_steps)
             reached = times[times >= 0]
@@ -813,6 +979,18 @@ def hitting_time_size_sweep(
                         "reached_fraction": float(reached.size / times.size),
                     },
                 )
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "sweep.cell",
+                    sweep="hitting_time_size_sweep",
+                    cell=int(n),
+                    provenance="computed",
+                    seconds=perf_counter() - tic,
+                )
+        if tracer.enabled:
+            tracer.event(
+                "sweep.end", sweep="hitting_time_size_sweep", cells=len(records)
             )
     finally:
         if owned_executor:

@@ -161,6 +161,7 @@ class EngineBackedDynamics:
         start_indices: np.ndarray | None = None,
         state: str = "auto",
         backend: str | None = "numpy",
+        tracer=None,
     ) -> EnsembleSimulator:
         """A batched :class:`~repro.engine.EnsembleSimulator` of this dynamics.
 
@@ -186,6 +187,7 @@ class EngineBackedDynamics:
             kernel=self.kernel(),
             state=state,
             backend=backend,
+            tracer=tracer,
         )
 
     def simulate(

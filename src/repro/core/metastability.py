@@ -190,6 +190,7 @@ def _adaptive_truncated_times(
     executor=None,
     q: float | None = None,
     precision_quantile: float | None = None,
+    tracer=None,
 ) -> StreamingEstimate:
     """Adaptive driver shared by the hitting/escape estimators.
 
@@ -227,6 +228,7 @@ def _adaptive_truncated_times(
             if precision_quantile is not None
             else None
         ),
+        tracer=tracer,
     )
 
 
@@ -250,6 +252,7 @@ def empirical_escape_times(
     backend="numpy",
     q: float | None = None,
     precision_quantile: float | None = None,
+    tracer=None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo exit times of the well ``R``, one per replica.
 
@@ -320,7 +323,7 @@ def empirical_escape_times(
         reject_fixed_mode_knobs(num_replicas, rng)
     else:
         reject_executor_without_precision(precision, executor)
-    backend = resolve_backend(backend)
+    backend = resolve_backend(backend, tracer=tracer)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     rng = np.random.default_rng() if rng is None else rng
     if dynamics is None:
@@ -354,10 +357,14 @@ def empirical_escape_times(
                 ),
                 precision, alpha, max_steps,
                 chunk_size, max_replicas, seed, keep_samples, executor,
-                q, precision_quantile,
+                q, precision_quantile, tracer,
             )
         sim = dynamics.ensemble(
-            num_replicas, start=np.asarray(start_profiles), rng=rng, backend=backend
+            num_replicas,
+            start=np.asarray(start_profiles),
+            rng=rng,
+            backend=backend,
+            tracer=tracer,
         )
         check_start_inside_well(states, sim, num_replicas)
         return sim.exit_times(states, max_steps=max_steps)
@@ -380,10 +387,12 @@ def empirical_escape_times(
             TruncatedGibbsEscapeSampler(dynamics, idx, weights, int(max_steps), backend),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
-            q, precision_quantile,
+            q, precision_quantile, tracer,
         )
     starts = rng.choice(idx, size=num_replicas, p=weights)
-    sim = dynamics.ensemble(num_replicas, start_indices=starts, rng=rng, backend=backend)
+    sim = dynamics.ensemble(
+        num_replicas, start_indices=starts, rng=rng, backend=backend, tracer=tracer
+    )
     return sim.exit_times(idx, max_steps=max_steps)
 
 
@@ -406,6 +415,7 @@ def empirical_hitting_times(
     backend="numpy",
     q: float | None = None,
     precision_quantile: float | None = None,
+    tracer=None,
 ) -> np.ndarray | StreamingEstimate:
     """Monte-Carlo first-hitting times of a profile set, one per replica.
 
@@ -449,7 +459,7 @@ def empirical_hitting_times(
         reject_fixed_mode_knobs(num_replicas, rng)
     else:
         reject_executor_without_precision(precision, executor)
-    backend = resolve_backend(backend)
+    backend = resolve_backend(backend, tracer=tracer)
     num_replicas = 128 if num_replicas is None else int(num_replicas)
     if dynamics is None:
         dynamics = LogitDynamics(game, beta)
@@ -472,9 +482,11 @@ def empirical_hitting_times(
             ),
             precision, alpha, max_steps,
             chunk_size, max_replicas, seed, keep_samples, executor,
-            q, precision_quantile,
+            q, precision_quantile, tracer,
         )
-    sim = dynamics.ensemble(num_replicas, start=start_state, rng=rng, backend=backend)
+    sim = dynamics.ensemble(
+        num_replicas, start=start_state, rng=rng, backend=backend, tracer=tracer
+    )
     return sim.hitting_times(targets, max_steps=max_steps)
 
 

@@ -19,11 +19,13 @@ Two measurement regimes are supported, mirroring DESIGN.md §6:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from ..engine.backend import resolve_backend
+from ..obs import as_tracer
 from ..engine.ensemble import EnsembleSimulator
 from ..engine.kernels import SeededSequentialKernel, require_sequential_dynamics
 from ..games.base import Game
@@ -108,9 +110,12 @@ def _advance_tv_shard(dynamics, seeds, start, steps: int, backend="numpy"):
     rows afterwards.  ``backend`` is the *resolved* array backend shipped
     from the coordinator (resolving in the parent keeps the numba-fallback
     warning visible and one-shot instead of per-worker).  Returns
-    ``(generators, profiles, indices)``: the round-tripped shard state
-    plus the profile indices the checkpoint TV is computed from.
+    ``(generators, profiles, indices, seconds)``: the round-tripped shard
+    state, the profile indices the checkpoint TV is computed from, and the
+    worker wall-clock spent advancing — the coordinator's per-shard load
+    signal (carries no randomness, never affects results).
     """
+    tic = perf_counter()
     sim = EnsembleSimulator.seeded(dynamics, seeds, start=start, backend=backend)
     if steps:
         sim.run(steps)
@@ -118,6 +123,7 @@ def _advance_tv_shard(dynamics, seeds, start, steps: int, backend="numpy"):
         sim.kernel_state["generators"],
         sim.profiles,
         np.asarray(sim.state.indices_at(None), dtype=np.int64),
+        perf_counter() - tic,
     )
 
 
@@ -262,6 +268,7 @@ def _estimate_tv_convergence_sharded(
     seed,
     executor,
     backend="numpy",
+    tracer=None,
 ) -> EnsembleMixingEstimate:
     """Sharded-replica TV convergence: the ``executor=`` path.
 
@@ -280,6 +287,7 @@ def _estimate_tv_convergence_sharded(
     against ``executor=None`` runs.
     """
     require_sequential_dynamics(dynamics)
+    tracer = as_tracer(tracer)
     space = dynamics.game.space
     root = (
         seed
@@ -302,21 +310,55 @@ def _estimate_tv_convergence_sharded(
             (dynamics, shard_seeds[j], shard_starts[j], steps, backend)
             for j in range(len(plan))
         ]
-        results = executor.map_tasks(_advance_tv_shard, tasks)
+        results = executor.map_tasks(_advance_tv_shard, tasks, tracer=tracer)
         shard_seeds = [r[0] for r in results]
         shard_starts = [r[1] for r in results]
         indices = np.concatenate([r[2] for r in results])
         t += steps
+        if tracer.enabled and steps:
+            # workers build their sims untraced, so the coordinator does
+            # the counting: every shard advanced `steps` steps per replica
+            tracer.count("engine.replica_steps", int(steps) * int(num_replicas))
+            seconds = [float(r[3]) for r in results]
+            for j, worker_seconds in enumerate(seconds):
+                tracer.event(
+                    "shard.complete",
+                    shard=j,
+                    replicas=len(shard_seeds[j]),
+                    steps=int(steps),
+                    seconds=worker_seconds,
+                )
+            mean = sum(seconds) / len(seconds)
+            tracer.count("shard.chunks", 1)
+            tracer.count("shard.worker_seconds", sum(seconds))
+            tracer.event(
+                "shard.chunk",
+                shards=len(seconds),
+                steps=int(steps),
+                max_seconds=max(seconds),
+                mean_seconds=mean,
+                imbalance=(max(seconds) / mean) if mean > 0 else 1.0,
+            )
         tv = _tv_from_indices(indices, reference, space.size)
         curve.append((float(t), float(tv)))
         if alpha is None:
             converged = tv <= epsilon
+            if tracer.enabled:
+                tracer.event("mixing.checkpoint", t=int(t), tv=float(tv))
         else:
             lower, upper = tv_distance_band(
                 tv, num_replicas, space.size, checkpoint_alpha(len(curve), alpha)
             )
             band.append((lower, upper))
             converged = upper <= epsilon
+            if tracer.enabled:
+                tracer.event(
+                    "mixing.checkpoint",
+                    t=int(t),
+                    tv=float(tv),
+                    lower=float(lower),
+                    upper=float(upper),
+                )
         if converged or t >= max_time:
             break
         steps = min(check_every, max_time - t)
@@ -348,6 +390,7 @@ def estimate_tv_convergence(
     executor=None,
     seed: int | np.random.SeedSequence | None = None,
     backend="numpy",
+    tracer=None,
 ) -> EnsembleMixingEstimate:
     """Time for an ensemble of ``dynamics`` to reach ``reference`` in TV.
 
@@ -406,6 +449,12 @@ def estimate_tv_convergence(
     resolved instance is shipped to the shard workers — so a
     numba-unavailable fallback warns exactly once, in the parent process
     where the user can see it, instead of once per (invisible) worker.
+
+    ``tracer`` (:mod:`repro.obs`) records ``mixing.checkpoint`` events
+    (TV, and the band when ``alpha`` is set), ``engine.replica_steps``
+    counts, and — on the sharded path — per-shard worker wall-clock and
+    load-imbalance events.  Tracing never touches the random streams:
+    traced and untraced runs are bit-for-bit identical.
     """
     if not 0 < epsilon < 1:
         raise ValueError("epsilon must lie in (0, 1)")
@@ -419,7 +468,8 @@ def estimate_tv_convergence(
         start = int(np.argmax(reference))
     elif not isinstance(start, (int, np.integer)):
         start = np.asarray(start, dtype=np.int64)
-    backend = resolve_backend(backend)
+    tracer = as_tracer(tracer)
+    backend = resolve_backend(backend, tracer=tracer)
     sharder, owned = claim_executor(executor)
     if sharder is not None:
         reject_rng_with_sharded_driver(rng)
@@ -438,12 +488,15 @@ def estimate_tv_convergence(
                 seed,
                 sharder,
                 backend,
+                tracer,
             )
         finally:
             if owned:
                 sharder.close()
     reject_seed_without_sharded_driver(seed)
-    sim = dynamics.ensemble(num_replicas, start=start, rng=rng, mode=mode, backend=backend)
+    sim = dynamics.ensemble(
+        num_replicas, start=start, rng=rng, mode=mode, backend=backend, tracer=tracer
+    )
     budget = sim.kernel.remaining_steps(sim)
     if budget is not None:
         max_time = min(int(max_time), budget)
@@ -460,12 +513,22 @@ def estimate_tv_convergence(
         curve.append((float(t), float(tv)))
         if alpha is None:
             converged = tv <= epsilon
+            if tracer.enabled:
+                tracer.event("mixing.checkpoint", t=int(t), tv=float(tv))
         else:
             lower, upper = tv_distance_band(
                 tv, num_replicas, space.size, checkpoint_alpha(len(curve), alpha)
             )
             band.append((lower, upper))
             converged = upper <= epsilon
+            if tracer.enabled:
+                tracer.event(
+                    "mixing.checkpoint",
+                    t=int(t),
+                    tv=float(tv),
+                    lower=float(lower),
+                    upper=float(upper),
+                )
         if converged or t >= max_time:
             break
         steps = min(check_every, max_time - t)
@@ -499,6 +562,7 @@ def estimate_mixing_time_ensemble(
     executor=None,
     seed: int | np.random.SeedSequence | None = None,
     backend="numpy",
+    tracer=None,
 ) -> EnsembleMixingEstimate:
     """Sampled TV mixing estimate from ``num_replicas`` parallel replicas.
 
@@ -552,6 +616,7 @@ def estimate_mixing_time_ensemble(
         executor=executor,
         seed=seed,
         backend=backend,
+        tracer=tracer,
     )
 
 

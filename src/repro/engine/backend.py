@@ -413,16 +413,56 @@ _NUMPY_BACKEND = NumpyBackend()
 _NUMBA_BACKEND: NumbaBackend | None = None
 
 
-def resolve_backend(backend: str | ArrayBackend | None) -> ArrayBackend:
+_FALLBACK_EVENT_RUNS: set = set()
+
+
+def _record_numba_fallback(tracer) -> None:
+    """Warn once per process and emit one structured event per traced run.
+
+    Headless runs routinely swallow ``RuntimeWarning``; the
+    ``engine.backend_fallback`` trace event makes the degradation durable.
+    The event fires at most once per (process, run id) so a sharded run
+    that resolves the backend in the coordinator records exactly one.
+    """
+    global _warned_numba_fallback
+    if not _warned_numba_fallback:
+        warnings.warn(
+            "backend='numba' requested but numba is not installed — "
+            "falling back to the numpy backend (same dynamics, no fused "
+            "kernels)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _warned_numba_fallback = True
+    if tracer is None or not getattr(tracer, "enabled", False):
+        from ..obs import get_global_tracer
+
+        tracer = get_global_tracer()
+    if not tracer.enabled or tracer.run_id in _FALLBACK_EVENT_RUNS:
+        return
+    _FALLBACK_EVENT_RUNS.add(tracer.run_id)
+    tracer.event(
+        "engine.backend_fallback",
+        backend="numba",
+        reason="numba is not importable in this environment",
+        fallback="numpy",
+    )
+
+
+def resolve_backend(
+    backend: str | ArrayBackend | None, tracer=None
+) -> ArrayBackend:
     """Resolve a ``backend=`` knob value to an :class:`ArrayBackend`.
 
     ``"numpy"`` (or ``None``) is the default vectorised path; ``"numba"``
     returns the JIT backend, degrading gracefully — with a one-line
-    warning, once per process — to numpy when numba is not installed;
-    ``"auto"`` silently picks numba when available and numpy otherwise.
-    An :class:`ArrayBackend` instance passes through unchanged.
+    warning, once per process, plus a structured
+    ``engine.backend_fallback`` event on ``tracer`` (or the global tracer)
+    once per traced run — to numpy when numba is not installed; ``"auto"``
+    silently picks numba when available and numpy otherwise.  An
+    :class:`ArrayBackend` instance passes through unchanged.
     """
-    global _NUMBA_BACKEND, _warned_numba_fallback
+    global _NUMBA_BACKEND
     if isinstance(backend, ArrayBackend):
         return backend
     if backend is None or backend == "numpy":
@@ -432,15 +472,8 @@ def resolve_backend(backend: str | ArrayBackend | None) -> ArrayBackend:
             if _NUMBA_BACKEND is None:
                 _NUMBA_BACKEND = NumbaBackend()
             return _NUMBA_BACKEND
-        if backend == "numba" and not _warned_numba_fallback:
-            warnings.warn(
-                "backend='numba' requested but numba is not installed — "
-                "falling back to the numpy backend (same dynamics, no fused "
-                "kernels)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            _warned_numba_fallback = True
+        if backend == "numba":
+            _record_numba_fallback(tracer)
         return _NUMPY_BACKEND
     raise ValueError(
         f"unknown array backend {backend!r}; available backends: "

@@ -52,11 +52,13 @@ exactly the moves its kernel prescribes per step.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..games.space import DENSE_PROFILE_CAP
+from ..obs import as_tracer
 from .backend import ArrayBackend, resolve_backend
 from .kernels import (
     SeededSequentialKernel,
@@ -127,6 +129,15 @@ class EnsembleSimulator:
         under softmax rules; falls back to numpy with a one-line warning
         when numba is not installed), ``"auto"``, or an
         :class:`~repro.engine.backend.ArrayBackend` instance.
+    tracer:
+        Telemetry sink (:mod:`repro.obs`): ``None`` (default — the shared
+        no-op tracer, zero hot-path cost), a
+        :class:`~repro.obs.Tracer`, or a path for a JSONL trace file.
+        When enabled the simulator counts ``engine.replica_steps``, times
+        ``engine.run`` / ``engine.first_passage``, and emits an
+        ``engine.backend_resolved`` event at construction.  Tracing never
+        touches the random streams, so traced and untraced runs are
+        bit-for-bit identical under the same seed.
 
     Example
     -------
@@ -159,9 +170,11 @@ class EnsembleSimulator:
         kernel: UpdateKernel | None = None,
         state: str = "auto",
         backend: str | ArrayBackend | None = "numpy",
+        tracer=None,
     ):
         if num_replicas < 1:
             raise ValueError("need at least one replica")
+        self.tracer = as_tracer(tracer)
         self.kernel = SequentialKernel(dynamics) if kernel is None else kernel
         if self.kernel.game is not dynamics.game:
             raise ValueError("kernel and dynamics must play the same game")
@@ -174,7 +187,7 @@ class EnsembleSimulator:
         self.space = self.game.space
         self.num_replicas = int(num_replicas)
         self.rng = np.random.default_rng() if rng is None else rng
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend(backend, tracer=self.tracer)
         if state == "auto":
             # fused backend kernels only exist over the strategy matrix, so
             # a backend that can fuse this (game, rule) pair flips the auto
@@ -261,6 +274,19 @@ class EnsembleSimulator:
                 self.game, rule
             )
         self._rows_all = np.arange(self.num_replicas, dtype=np.int64)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "engine.backend_resolved",
+                backend=type(self.backend).__name__,
+                state=self.state.kind,
+                mode=self.mode,
+                replicas=self.num_replicas,
+                fused=bool(
+                    self._fused_rowwise is not None
+                    or self._fused_parallel is not None
+                    or self._fused_probabilistic is not None
+                ),
+            )
         self.reset(start, start_indices=start_indices)
 
     @classmethod
@@ -274,6 +300,7 @@ class EnsembleSimulator:
         state: str = "auto",
         backend: str | ArrayBackend | None = "numpy",
         block_size: int = 256,
+        tracer=None,
     ) -> "EnsembleSimulator":
         """An ensemble with one independent random stream per replica.
 
@@ -314,6 +341,7 @@ class EnsembleSimulator:
             state=state,
             backend=backend,
             kernel=seeded_kernel,
+            tracer=tracer,
         )
 
     # -- state ------------------------------------------------------------
@@ -495,6 +523,8 @@ class EnsembleSimulator:
         """
         if num_steps < 0:
             raise ValueError("num_steps must be non-negative")
+        tracer = self.tracer
+        tic = perf_counter() if tracer.enabled else 0.0
         draws = self.kernel.begin_run(self, num_steps)
         snapshots: list[np.ndarray] | None = None
         if record_every is not None:
@@ -504,6 +534,13 @@ class EnsembleSimulator:
             self.kernel.run_step(self, t, draws)
             if snapshots is not None and (t + 1) % record_every == 0:
                 snapshots.append(self.state.snapshot())
+        if tracer.enabled:
+            tracer.count("engine.replica_steps", int(num_steps) * self.num_replicas)
+            tracer.timing(
+                "engine.run",
+                perf_counter() - tic,
+                payload={"steps": int(num_steps), "replicas": self.num_replicas},
+            )
         if snapshots is None:
             return None
         return self.state.stack_snapshots(snapshots)
@@ -523,6 +560,9 @@ class EnsembleSimulator:
         search is clamped to the remaining schedule, so exhaustion reads as
         ``-1`` (not reached) rather than a mid-run error.
         """
+        tracer = self.tracer
+        tic = perf_counter() if tracer.enabled else 0.0
+        advanced = 0
         times = np.full(self.num_replicas, -1, dtype=np.int64)
         inside = in_target(None)
         times[inside] = 0
@@ -533,10 +573,18 @@ class EnsembleSimulator:
         for t in range(1, max_steps + 1):
             if active.size == 0:
                 break
+            advanced += active.size
             self.kernel.step(self, where=active)
             hit = in_target(active)
             times[active[hit]] = t
             active = active[~hit]
+        if tracer.enabled:
+            tracer.count("engine.replica_steps", int(advanced))
+            tracer.timing(
+                "engine.first_passage",
+                perf_counter() - tic,
+                payload={"replicas": self.num_replicas},
+            )
         return times
 
     def _membership(

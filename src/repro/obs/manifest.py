@@ -1,0 +1,75 @@
+"""Run manifests: the provenance header that opens every trace.
+
+A :class:`RunManifest` records where a trace came from — git revision,
+platform, interpreter/numpy versions, the master seed and any spec
+digests — so a JSONL file on disk is self-describing long after the run
+that produced it.  ``RunManifest.collect()`` gathers everything that can
+be discovered automatically; callers add seed/spec fields via
+``Tracer.annotate`` as they become known.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["RunManifest", "git_revision"]
+
+
+def git_revision() -> str:
+    """Best-effort short git revision of the source tree, else "unknown"."""
+    root = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Static provenance for one traced run."""
+
+    git_rev: str = "unknown"
+    python: str = ""
+    numpy: str = ""
+    platform: str = ""
+    seed: object = None
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, seed=None, **extra) -> "RunManifest":
+        """Gather git/platform/version provenance for the current process."""
+        return cls(
+            git_rev=git_revision(),
+            python=sys.version.split()[0],
+            numpy=np.__version__,
+            platform=platform.platform(),
+            seed=seed,
+            extra=dict(extra),
+        )
+
+    def as_payload(self) -> dict:
+        """Flatten to the JSON payload stored in the trace's opening event."""
+        payload = {
+            "git_rev": self.git_rev,
+            "python": self.python,
+            "numpy": self.numpy,
+            "platform": self.platform,
+        }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        payload.update(self.extra)
+        return payload

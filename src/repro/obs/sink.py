@@ -1,0 +1,127 @@
+"""Trace sinks: durable destinations for structured telemetry events.
+
+A sink receives one event dict at a time from a :class:`~repro.obs.tracer.
+Tracer` and persists it.  The workhorse is :class:`JsonlTraceSink`, which
+appends one JSON object per line to a file.  Lines are written with a
+single ``os.write`` on a file descriptor opened with ``O_APPEND``, so
+concurrent writers (e.g. several benchmark processes sharing a trace
+file) never interleave partial lines on POSIX filesystems.
+
+``read_trace`` is the strict reader used by tests; the trace-summary CLI
+(`repro.obs.summary`) parses leniently instead, reporting bad lines as
+structural anomalies rather than raising.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["JsonlTraceSink", "MemorySink", "TraceSink", "read_trace"]
+
+
+def _json_default(value):
+    """Coerce numpy scalars/arrays so events never fail to serialise."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+def encode_event(event: dict) -> str:
+    """Render one event as a compact single-line JSON string (no newline)."""
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+class TraceSink:
+    """Interface for trace destinations.
+
+    Subclasses implement :meth:`emit`; ``flush``/``close`` are optional.
+    """
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(TraceSink):
+    """Collect events in a list — handy for tests and introspection."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlTraceSink(TraceSink):
+    """Append-only JSONL trace file with atomic line appends.
+
+    Each event becomes exactly one line.  The file descriptor is opened
+    with ``O_CREAT | O_WRONLY | O_APPEND`` and every line is written with
+    one ``os.write`` call, which POSIX guarantees is atomic with respect
+    to other ``O_APPEND`` writers — a crashed or concurrent run can
+    truncate the *tail* of a trace but never corrupt the middle.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+
+    def emit(self, event: dict) -> None:
+        if self._fd is None:
+            raise ValueError(f"trace sink for {self.path} is closed")
+        line = encode_event(event) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def flush(self) -> None:
+        if self._fd is not None:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_trace(path) -> list[dict]:
+    """Read a JSONL trace file strictly; raise on any malformed line."""
+    events = []
+    with io.open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: trace line is not an object")
+            events.append(event)
+    return events

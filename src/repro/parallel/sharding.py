@@ -38,12 +38,14 @@ from __future__ import annotations
 
 import os
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..engine.kernels import SeededSequentialKernel
+from ..obs import as_tracer
 from ..stats.accumulators import StreamingMoments
 
 __all__ = [
@@ -80,11 +82,16 @@ class ShardSample:
         :class:`~repro.stats.accumulators.StreamingMoments` over
         ``samples`` — the shard-local Welford state merged downstream via
         :func:`merge_shard_moments`.
+    seconds:
+        Worker-side wall-clock spent inside the sampler for this shard —
+        the telemetry layer's per-shard load signal.  Carries no
+        randomness and never influences pooling.
     """
 
     offset: int
     samples: np.ndarray
     moments: StreamingMoments
+    seconds: float = field(default=0.0, compare=False)
 
 
 def shard_plan(total: int, num_shards: int) -> list[tuple[int, int]]:
@@ -140,8 +147,10 @@ def _sample_shard(
     children a serial ``root.spawn`` would have produced at those
     positions.
     """
+    tic = perf_counter()
     children = SeededSequentialKernel.spawn_block(root, start, count)
     samples = np.asarray(sampler(children), dtype=float)
+    seconds = perf_counter() - tic
     if samples.shape != (count,):
         raise ValueError(
             f"sampler returned shape {samples.shape} for {count} children; "
@@ -149,7 +158,9 @@ def _sample_shard(
         )
     moments = StreamingMoments()
     moments.update(samples)
-    return ShardSample(offset=start, samples=samples, moments=moments)
+    return ShardSample(
+        offset=start, samples=samples, moments=moments, seconds=seconds
+    )
 
 
 def pool_shard_samples(shards: Sequence[ShardSample]) -> np.ndarray:
@@ -259,7 +270,7 @@ class ShardedExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    def map_tasks(self, fn, tasks: list[tuple]) -> list:
+    def map_tasks(self, fn, tasks: list[tuple], tracer=None) -> list:
         """Apply ``fn(*task)`` to every task, preserving task order.
 
         The raw fan-out primitive under :meth:`map_chunk`, also used
@@ -267,25 +278,41 @@ class ShardedExecutor:
         (the sharded ensemble advance of
         :func:`repro.core.mixing.estimate_tv_convergence`).  ``fn`` and
         every task element must be picklable on the process backend.
+        An enabled ``tracer`` (:mod:`repro.obs`) counts ``shard.tasks``
+        and emits one ``shard.dispatch`` event per batch with the
+        dispatch-to-completion wall-clock; the tracer itself is never
+        shipped to workers.
         """
+        tracer = as_tracer(tracer)
+        tic = perf_counter() if tracer.enabled else 0.0
         if self.backend == "serial":
-            return [fn(*task) for task in tasks]
-        pool = self._ensure_pool()
-        try:
-            futures = [pool.submit(fn, *task) for task in tasks]
-            return [f.result() for f in futures]
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            # f.result() re-raises both submit-time pickling failures and
-            # genuine runtime errors from inside workers; only blame
-            # pickling when the payload actually fails to pickle
-            if _payload_pickles(fn, tasks):
-                raise
-            raise ValueError(
-                "the process backend must pickle the sampler and its payload "
-                "(game, dynamics, start, targets) to ship them to workers; "
-                "use module-level functions/classes instead of lambdas or "
-                f"closures, or backend='serial' — pickling failed with: {exc}"
-            ) from exc
+            results = [fn(*task) for task in tasks]
+        else:
+            pool = self._ensure_pool()
+            try:
+                futures = [pool.submit(fn, *task) for task in tasks]
+                results = [f.result() for f in futures]
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                # f.result() re-raises both submit-time pickling failures and
+                # genuine runtime errors from inside workers; only blame
+                # pickling when the payload actually fails to pickle
+                if _payload_pickles(fn, tasks):
+                    raise
+                raise ValueError(
+                    "the process backend must pickle the sampler and its payload "
+                    "(game, dynamics, start, targets) to ship them to workers; "
+                    "use module-level functions/classes instead of lambdas or "
+                    f"closures, or backend='serial' — pickling failed with: {exc}"
+                ) from exc
+        if tracer.enabled:
+            tracer.count("shard.tasks", len(tasks))
+            tracer.event(
+                "shard.dispatch",
+                tasks=len(tasks),
+                backend=self.backend,
+                seconds=perf_counter() - tic,
+            )
+        return results
 
     def map_chunk(
         self,
@@ -293,6 +320,7 @@ class ShardedExecutor:
         root: np.random.SeedSequence,
         start: int,
         count: int,
+        tracer=None,
     ) -> list[ShardSample]:
         """Evaluate samples ``start .. start + count - 1`` across the shards.
 
@@ -308,6 +336,12 @@ class ShardedExecutor:
             sample stream (the spawn position of its seed child).
         count:
             Chunk size.
+        tracer:
+            Telemetry sink (:mod:`repro.obs`).  When enabled, each shard's
+            worker wall-clock (:attr:`ShardSample.seconds`) is emitted as
+            a ``shard.complete`` event and the chunk closes with a
+            ``shard.chunk`` event carrying the load-imbalance ratio
+            (max/mean shard seconds).
 
         Returns
         -------
@@ -315,9 +349,32 @@ class ShardedExecutor:
             One entry per scheduled shard, in offset order; pool with
             :func:`pool_shard_samples` / :func:`merge_shard_moments`.
         """
+        tracer = as_tracer(tracer)
         plan = shard_plan(count, self.num_shards)
         tasks = [(sampler, root, start + off, cnt) for off, cnt in plan]
-        return self.map_tasks(_sample_shard, tasks)
+        shards = self.map_tasks(_sample_shard, tasks, tracer=tracer)
+        if tracer.enabled and shards:
+            seconds = [float(s.seconds) for s in shards]
+            for index, shard in enumerate(shards):
+                tracer.event(
+                    "shard.complete",
+                    shard=index,
+                    offset=int(shard.offset),
+                    samples=int(shard.samples.size),
+                    seconds=float(shard.seconds),
+                )
+            mean = sum(seconds) / len(seconds)
+            tracer.count("shard.chunks", 1)
+            tracer.count("shard.worker_seconds", sum(seconds))
+            tracer.event(
+                "shard.chunk",
+                shards=len(shards),
+                samples=int(count),
+                max_seconds=max(seconds),
+                mean_seconds=mean,
+                imbalance=(max(seconds) / mean) if mean > 0 else 1.0,
+            )
+        return shards
 
     def close(self) -> None:
         """Shut the process pool down (no-op for the serial backend)."""

@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import as_tracer
 from ..stats.accumulators import StreamingEstimate
 
 __all__ = [
@@ -259,11 +260,17 @@ class ExperimentStore:
     treat any malformed record as a miss, and keys depend only on the
     spec's content — never on dict ordering, ``PYTHONHASHSEED`` or the
     process that computed them.
+
+    ``tracer`` (:mod:`repro.obs`) makes cache traffic observable: every
+    :meth:`get` counts ``store.get.hit`` / ``store.get.miss`` (hits also
+    count ``store.bytes_read``), every :meth:`put` counts ``store.put``
+    and ``store.bytes_written``.  The default is the no-op tracer.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, tracer=None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.tracer = as_tracer(tracer)
 
     # -- paths -------------------------------------------------------------
 
@@ -288,12 +295,16 @@ class ExperimentStore:
             with open(manifest_path, "r", encoding="utf-8") as fh:
                 manifest = json.load(fh)
             if manifest.get("format_version") != FORMAT_VERSION:
+                self._count_miss(key)
                 return None
             arrays = None
+            bytes_read = manifest_path.stat().st_size
             if manifest.get("has_arrays"):
-                with np.load(self._payload_path(key), allow_pickle=False) as npz:
+                payload_path = self._payload_path(key)
+                with np.load(payload_path, allow_pickle=False) as npz:
                     arrays = {name: np.asarray(npz[name]) for name in npz.files}
-            return _decode(manifest["result"], arrays)
+                bytes_read += payload_path.stat().st_size
+            result = _decode(manifest["result"], arrays)
         except (
             OSError,
             ValueError,
@@ -302,7 +313,16 @@ class ExperimentStore:
             json.JSONDecodeError,
             zipfile.BadZipFile,
         ):
+            self._count_miss(key)
             return None
+        if self.tracer.enabled:
+            self.tracer.count("store.get.hit", 1)
+            self.tracer.count("store.bytes_read", int(bytes_read))
+        return result
+
+    def _count_miss(self, key: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.count("store.get.miss", 1)
 
     def put(self, spec, result) -> str:
         """Store ``result`` under ``spec``'s content address; returns the key.
@@ -333,6 +353,12 @@ class ExperimentStore:
             lambda fh: fh.write(json.dumps(manifest, sort_keys=True, indent=1)),
             binary=False,
         )
+        if self.tracer.enabled:
+            bytes_written = self._manifest_path(key).stat().st_size
+            if arrays:
+                bytes_written += self._payload_path(key).stat().st_size
+            self.tracer.count("store.put", 1)
+            self.tracer.count("store.bytes_written", int(bytes_written))
         return key
 
     def get_or_compute(self, spec, compute: Callable[[], object]) -> tuple[object, bool]:
@@ -368,12 +394,17 @@ class ExperimentStore:
         return f"ExperimentStore({str(self.root)!r}, records={len(self.keys())})"
 
 
-def as_store(store) -> ExperimentStore | None:
-    """Normalise the ``store=`` knob: ``None``, a path, or a live store."""
+def as_store(store, tracer=None) -> ExperimentStore | None:
+    """Normalise the ``store=`` knob: ``None``, a path, or a live store.
+
+    ``tracer`` is attached only when this call *constructs* the store
+    from a path; a caller-supplied :class:`ExperimentStore` instance is
+    returned untouched (its tracer belongs to the caller).
+    """
     if store is None or isinstance(store, ExperimentStore):
         return store
     if isinstance(store, (str, os.PathLike)):
-        return ExperimentStore(store)
+        return ExperimentStore(store, tracer=tracer)
     raise ValueError(
         f"unknown store {store!r}; pass None, a directory path, or an "
         f"ExperimentStore instance"

@@ -44,6 +44,7 @@ def run_until_width(
     q: float | None = None,
     precision_quantile: float | None = None,
     quantile_grid: int = 512,
+    tracer=None,
 ) -> StreamingEstimate:
     """Sample in chunks until the confidence interval is ``target_width`` wide.
 
@@ -114,6 +115,12 @@ def run_until_width(
     quantile_grid:
         Threshold-grid resolution of the quantile CS (interval endpoints
         are quantised to grid values).
+    tracer:
+        Telemetry sink (:mod:`repro.obs`), forwarded to the underlying
+        :class:`~repro.stats.stream.SampleDriver`: chunk counters/timers
+        plus a ``driver.convergence`` CS-width-vs-n event per consumer
+        per chunk.  ``None`` (default) is the no-op tracer; tracing never
+        changes the sample stream.
 
     Returns
     -------
@@ -175,6 +182,7 @@ def run_until_width(
         max_n=max_n,
         executor=executor,
         keep_samples=keep_samples,
+        tracer=tracer,
     )
     driver.register(cs)
     moments = driver.register(StreamingMoments())

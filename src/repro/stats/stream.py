@@ -23,9 +23,12 @@ instead of re-implementing the loop.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
+
+from ..obs import as_tracer
 
 __all__ = ["ChunkSampler", "SampleDriver"]
 
@@ -64,6 +67,15 @@ class SampleDriver:
     keep_samples:
         Keep the pooled raw samples (:attr:`samples`) for regression
         tests and benchmarks; disable for huge runs.
+    tracer:
+        Telemetry sink (:mod:`repro.obs`); ``None`` (default) is the
+        shared no-op tracer.  When enabled the driver counts
+        ``driver.chunks`` / ``driver.samples``, times ``driver.chunk``,
+        and — after every chunk — emits one ``driver.convergence`` event
+        per interval-bearing consumer (CS width as a function of ``n``),
+        turning adaptive stopping into an inspectable curve.  Tracing
+        never touches the seed stream: traced and untraced runs pool
+        bit-for-bit identical samples.
 
     Example
     -------
@@ -92,11 +104,13 @@ class SampleDriver:
         max_n: int = 4096,
         executor=None,
         keep_samples: bool = True,
+        tracer=None,
     ):
         from ..parallel.sharding import claim_executor
 
         if max_n < 1:
             raise ValueError("max_n must be positive")
+        self._tracer = as_tracer(tracer)
         self._sampler = sampler
         self._chunk_size = max(int(chunk_size), 1)
         self._max_n = int(max_n)
@@ -154,15 +168,18 @@ class SampleDriver:
         """
         from ..parallel.sharding import pool_shard_samples
 
+        tracer = self._tracer
         try:
             while self._n < self._max_n:
                 k = min(self._chunk_size, self._max_n - self._n)
+                tic = perf_counter() if tracer.enabled else 0.0
                 if self._sharder is None:
                     children = self._root.spawn(k)
                     samples = np.asarray(self._sampler(children), dtype=float)
                 else:
                     shards = self._sharder.map_chunk(
-                        self._sampler, self._root, self._base + self._n, k
+                        self._sampler, self._root, self._base + self._n, k,
+                        tracer=tracer,
                     )
                     samples = pool_shard_samples(shards)
                     # keep the root's cursor consistent with serial use
@@ -178,9 +195,37 @@ class SampleDriver:
                 if self._keep_samples:
                     self._pooled.append(samples)
                 self._n += k
+                if tracer.enabled:
+                    tracer.count("driver.chunks", 1)
+                    tracer.count("driver.samples", int(k))
+                    tracer.timing(
+                        "driver.chunk",
+                        perf_counter() - tic,
+                        payload={"samples": int(k)},
+                    )
+                    self._trace_convergence(tracer)
                 if stop is not None and stop():
                     break
         finally:
             if self._owned:
                 self._sharder.close()
         return self._n
+
+    def _trace_convergence(self, tracer) -> None:
+        """Emit one CS-width point per interval-bearing consumer."""
+        for index, consumer in enumerate(self._consumers):
+            interval = getattr(consumer, "interval", None)
+            if not callable(interval):
+                continue
+            try:
+                lower, upper = (float(bound) for bound in interval())
+            except Exception:
+                continue  # e.g. a quantile CS before it has enough mass
+            tracer.event(
+                "driver.convergence",
+                consumer=f"{type(consumer).__name__}[{index}]",
+                n=int(self._n),
+                lower=lower,
+                upper=upper,
+                width=upper - lower,
+            )
