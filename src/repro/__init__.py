@@ -56,7 +56,10 @@ from .analysis import (
     hitting_time_size_sweep,
     provenance_summary,
     render_experiment,
+    render_scenario_matrix,
     render_table,
+    scenario_matrix,
+    scenario_matrix_payload,
     size_sweep,
     stationary_expected_welfare,
     welfare_of_profiles,
@@ -83,6 +86,7 @@ from .core import (
     lemma37_relaxation_upper,
     lemma1207_doubled_potential,
     lemma1207_update_rate_lower,
+    lemma1311_social_cost_sandwich,
     logit_update_distribution,
     measure_mixing_time,
     measure_mixing_with_bounds,
@@ -107,11 +111,15 @@ from .core import (
     theorem1207_mixing_lower,
     theorem1207_mixing_upper,
     theorem1207_stationary_product,
+    theorem1311_mixing_upper,
+    theorem1311_stability_upper,
+    theorem1311_stationary_cost_upper,
 )
 from .games import (
     AnonymousDominantGame,
     CoordinationParams,
     ExplicitPotentialGame,
+    FiniteOpinionGame,
     Game,
     GraphicalCoordinationGame,
     IsingGame,
@@ -203,7 +211,10 @@ __all__ = [
     "hitting_time_size_sweep",
     "provenance_summary",
     "render_experiment",
+    "render_scenario_matrix",
     "render_table",
+    "scenario_matrix",
+    "scenario_matrix_payload",
     "size_sweep",
     "stationary_expected_welfare",
     "welfare_of_profiles",
@@ -229,6 +240,7 @@ __all__ = [
     "lemma37_relaxation_upper",
     "lemma1207_doubled_potential",
     "lemma1207_update_rate_lower",
+    "lemma1311_social_cost_sandwich",
     "logit_update_distribution",
     "measure_mixing_time",
     "measure_mixing_with_bounds",
@@ -253,10 +265,14 @@ __all__ = [
     "theorem1207_mixing_lower",
     "theorem1207_mixing_upper",
     "theorem1207_stationary_product",
+    "theorem1311_mixing_upper",
+    "theorem1311_stability_upper",
+    "theorem1311_stationary_cost_upper",
     # games
     "AnonymousDominantGame",
     "CoordinationParams",
     "ExplicitPotentialGame",
+    "FiniteOpinionGame",
     "Game",
     "GraphicalCoordinationGame",
     "IsingGame",

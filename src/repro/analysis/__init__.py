@@ -1,4 +1,4 @@
-"""Analysis helpers: parameter sweeps and experiment-report rendering."""
+"""Analysis helpers: sweeps, the scenario matrix and report rendering."""
 
 from .welfare import (
     estimate_stationary_welfare,
@@ -16,6 +16,13 @@ from .report import (
     provenance_summary,
     render_experiment,
     render_table,
+)
+from .scenario_matrix import (
+    ScenarioCell,
+    ScenarioMatrixResult,
+    render_scenario_matrix,
+    scenario_matrix,
+    scenario_matrix_payload,
 )
 from .sweep import (
     SweepRecord,
@@ -42,6 +49,11 @@ __all__ = [
     "provenance_summary",
     "render_experiment",
     "render_table",
+    "ScenarioCell",
+    "ScenarioMatrixResult",
+    "render_scenario_matrix",
+    "scenario_matrix",
+    "scenario_matrix_payload",
     "SweepRecord",
     "SweepResult",
     "beta_sweep",

@@ -2,7 +2,7 @@
 
 Exports the profile-space machinery, the game base classes, potential
 games, the paper's coordination / dominant-strategy / lower-bound
-constructions, congestion games and the Ising model.
+constructions, congestion games, the Ising model and finite opinion games.
 """
 
 from .base import (
@@ -42,6 +42,7 @@ from .maxsolvable import (
     never_best_response_strategies,
 )
 from .local import LocalInteractionGame, derive_edge_potential
+from .opinion import FiniteOpinionGame, opinion_edge_payoffs, opinion_edge_potential
 from .ising import (
     IsingGame,
     glauber_update_probability,
@@ -94,6 +95,9 @@ __all__ = [
     "random_dominant_game",
     "LocalInteractionGame",
     "derive_edge_potential",
+    "FiniteOpinionGame",
+    "opinion_edge_payoffs",
+    "opinion_edge_potential",
     "IsingGame",
     "glauber_update_probability",
     "ising_hamiltonian",

@@ -8,6 +8,9 @@ connectivities.
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Iterable, Sequence
+
 import networkx as nx
 import numpy as np
 
@@ -19,9 +22,13 @@ __all__ = [
     "grid_graph",
     "torus_graph",
     "binary_tree_graph",
+    "caterpillar_graph",
     "erdos_renyi_graph",
     "random_regular_graph",
     "preferential_attachment_graph",
+    "small_world_graph",
+    "stochastic_block_model_graph",
+    "load_graph",
 ]
 
 
@@ -82,6 +89,26 @@ def binary_tree_graph(depth: int) -> nx.Graph:
     return nx.balanced_tree(2, depth)
 
 
+def caterpillar_graph(spine: int, legs: int) -> nx.Graph:
+    """Caterpillar: a ``spine``-node path with ``legs`` leaves per spine node.
+
+    Spine nodes are ``0..spine-1``; the leaves of spine node ``i`` follow
+    at ``spine + i * legs .. spine + (i + 1) * legs - 1``.  Deterministic
+    and integer-labelled by construction.  Caterpillars have cutwidth
+    ``legs + 1``-ish independent of the spine length, which makes them the
+    low-cutwidth/large-``n`` corner of the mixing-bound spectrum.
+    """
+    if spine < 2:
+        raise ValueError("a caterpillar needs a spine of at least 2 nodes")
+    if legs < 1:
+        raise ValueError("a caterpillar needs at least 1 leg per spine node")
+    g = nx.path_graph(spine)
+    for i in range(spine):
+        for k in range(legs):
+            g.add_edge(i, spine + i * legs + k)
+    return g
+
+
 def erdos_renyi_graph(
     num_nodes: int, edge_probability: float, rng: np.random.Generator | None = None,
     ensure_connected: bool = True,
@@ -130,3 +157,122 @@ def preferential_attachment_graph(
     rng = np.random.default_rng() if rng is None else rng
     seed = int(rng.integers(0, 2**31 - 1))
     return nx.barabasi_albert_graph(num_nodes, attachments, seed=seed)
+
+
+def small_world_graph(
+    num_nodes: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> nx.Graph:
+    """Watts–Strogatz small-world graph, re-sampled until connected.
+
+    A ring lattice where every node is joined to its ``nearest_neighbors``
+    nearest ring neighbors (``k/2`` on each side, so ``k`` must be even),
+    with each edge rewired to a uniform endpoint with probability
+    ``rewire_probability`` — the standard interpolation between the
+    paper's ring (``p = 0``) and an expander-like random graph
+    (``p = 1``).  Uses ``connected_watts_strogatz_graph``, which retries
+    internally until the sample is connected.
+    """
+    if num_nodes < 3:
+        raise ValueError("a small-world graph needs at least 3 nodes")
+    if not 2 <= nearest_neighbors < num_nodes:
+        raise ValueError(
+            "nearest_neighbors must satisfy 2 <= nearest_neighbors < num_nodes"
+        )
+    if nearest_neighbors % 2 != 0:
+        raise ValueError("nearest_neighbors must be even (k/2 per side)")
+    if not 0 <= rewire_probability <= 1:
+        raise ValueError("rewire_probability must lie in [0, 1]")
+    rng = np.random.default_rng() if rng is None else rng
+    seed = int(rng.integers(0, 2**31 - 1))
+    return nx.connected_watts_strogatz_graph(
+        num_nodes, nearest_neighbors, rewire_probability, tries=1000, seed=seed
+    )
+
+
+def stochastic_block_model_graph(
+    block_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    rng: np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> nx.Graph:
+    """Stochastic block model: dense communities, sparse cross links.
+
+    Nodes are grouped into ``len(block_sizes)`` communities (block ``b``
+    owns the contiguous label range after the blocks before it); two nodes
+    are joined with probability ``p_in`` inside a block and ``p_out``
+    across blocks.  The assortative case ``p_in >> p_out`` is the
+    standard model for the community structure where opinion games
+    develop metastable local consensus.  Optionally re-sampled until
+    connected (up to 1000 attempts, like :func:`erdos_renyi_graph`).
+    """
+    sizes = [int(s) for s in block_sizes]
+    if len(sizes) < 1 or any(s < 1 for s in sizes):
+        raise ValueError("block_sizes must be a non-empty list of positive ints")
+    if not 0 <= p_in <= 1 or not 0 <= p_out <= 1:
+        raise ValueError("p_in and p_out must lie in [0, 1]")
+    rng = np.random.default_rng() if rng is None else rng
+    for _ in range(1000):
+        seed = int(rng.integers(0, 2**31 - 1))
+        probs = [
+            [p_in if i == j else p_out for j in range(len(sizes))]
+            for i in range(len(sizes))
+        ]
+        g = nx.stochastic_block_model(sizes, probs, seed=seed)
+        # drop the generator's block metadata so graphs hash by structure
+        g = nx.Graph(g.edges()) if g.number_of_edges() else nx.empty_graph(sum(sizes))
+        g.add_nodes_from(range(sum(sizes)))
+        if not ensure_connected or (len(g) > 0 and nx.is_connected(g)):
+            return g
+    raise RuntimeError(
+        "failed to sample a connected stochastic block model; "
+        "increase p_in/p_out or disable ensure_connected"
+    )
+
+
+def load_graph(source: str | Path | Iterable[str]) -> nx.Graph:
+    """Load a real graph from edge-list text, relabelled to 0..n-1.
+
+    ``source`` is a file path or an iterable of lines.  Each non-empty
+    line names one undirected edge as two whitespace-separated labels;
+    ``#`` starts a comment (whole-line or trailing) — the common format of
+    SNAP/KONECT exports.  Labels may be arbitrary strings; integer-looking
+    labels sort numerically.  Nodes are relabelled to ``0..n-1`` in sorted
+    order so loaded graphs obey the same labelling contract as the
+    generators.  Self-loops are rejected (the local-interaction machinery
+    assumes simple graphs); duplicate edges collapse.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    edges: list[tuple[object, object]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"edge-list line {lineno} must have exactly two labels, "
+                f"got {len(parts)}: {raw!r}"
+            )
+        u, v = parts
+        if u == v:
+            raise ValueError(
+                f"edge-list line {lineno} is a self-loop ({u!r}); "
+                "local-interaction games assume simple graphs"
+            )
+        edges.append((u, v))
+    if not edges:
+        raise ValueError("edge list is empty — no edges to load")
+    try:
+        edges = [(int(u), int(v)) for u, v in edges]
+    except ValueError:
+        pass  # keep string labels; sorted() below still gives a stable order
+    g = nx.Graph()
+    g.add_edges_from(edges)
+    return _relabel(g)

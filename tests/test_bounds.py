@@ -222,3 +222,82 @@ class TestSection5Formulas:
             theorem57_ring_mixing_lower(1.0, -1.0)
         with pytest.raises(ValueError):
             clique_potential_barrier(1, 1.0, 1.0)
+
+
+class Test1311OpinionFormulas:
+    """Formula tests for the finite-opinion-game bounds (arXiv 1311.1610)."""
+
+    def test_mixing_upper_formula(self):
+        from repro.core.bounds import theorem1311_mixing_upper
+
+        n, beta, chi = 5, 0.7, 3
+        expected = 2.0 * n**3 * math.exp(beta * (2 * chi + 1)) * (n * beta + 1.0)
+        assert theorem1311_mixing_upper(n, beta, chi) == pytest.approx(expected)
+
+    def test_mixing_upper_matches_theorem51_with_unit_deltas(self):
+        # the opinion bound is the Theorem 5.1 schema at delta0 = 2, delta1
+        # accounting: exponent chi*(delta0+delta1) = 2*chi ... plus the
+        # belief term; check the exact relation exp(beta) * thm51(d0=d1=1)
+        from repro.core.bounds import theorem1311_mixing_upper
+
+        n, beta, chi = 4, 0.5, 2
+        base = theorem51_mixing_upper(n, beta, 1.0, 1.0, chi)
+        assert theorem1311_mixing_upper(n, beta, chi) == pytest.approx(
+            base * math.exp(beta) * (n * beta + 1.0) / (n * 1.0 * beta + 1.0)
+        )
+
+    def test_mixing_upper_monotone_in_cutwidth_and_beta(self):
+        from repro.core.bounds import theorem1311_mixing_upper
+
+        assert theorem1311_mixing_upper(6, 1.0, 2) < theorem1311_mixing_upper(6, 1.0, 3)
+        assert theorem1311_mixing_upper(6, 0.5, 2) < theorem1311_mixing_upper(6, 1.5, 2)
+
+    def test_sandwich_pair(self):
+        from repro.core.bounds import lemma1311_social_cost_sandwich
+
+        lower, upper = lemma1311_social_cost_sandwich(3.5)
+        assert lower == pytest.approx(3.5)
+        assert upper == pytest.approx(7.0)
+        assert lemma1311_social_cost_sandwich(0.0) == (0.0, 0.0)
+
+    def test_stability_is_twice_optimum(self):
+        from repro.core.bounds import theorem1311_stability_upper
+
+        assert theorem1311_stability_upper(1.25) == pytest.approx(2.5)
+
+    def test_stationary_cost_formula_and_limits(self):
+        from repro.core.bounds import theorem1311_stationary_cost_upper
+
+        opt, beta, n, m = 2.0, 4.0, 6, 3
+        expected = 2.0 * opt + 2.0 * n * math.log(m) / beta
+        assert theorem1311_stationary_cost_upper(opt, beta, n, m) == pytest.approx(expected)
+        # beta -> inf recovers the price-of-stability bound
+        assert theorem1311_stationary_cost_upper(opt, 1e12, n, m) == pytest.approx(
+            2.0 * opt, abs=1e-9
+        )
+        assert theorem1311_stationary_cost_upper(opt, 0.0, n, m) == math.inf
+
+    def test_validation(self):
+        from repro.core.bounds import (
+            lemma1311_social_cost_sandwich,
+            theorem1311_mixing_upper,
+            theorem1311_stability_upper,
+            theorem1311_stationary_cost_upper,
+        )
+
+        with pytest.raises(ValueError):
+            theorem1311_mixing_upper(0, 1.0, 2)
+        with pytest.raises(ValueError):
+            theorem1311_mixing_upper(3, -1.0, 2)
+        with pytest.raises(ValueError):
+            theorem1311_mixing_upper(3, 1.0, -1)
+        with pytest.raises(ValueError):
+            lemma1311_social_cost_sandwich(-0.1)
+        with pytest.raises(ValueError):
+            theorem1311_stability_upper(-1.0)
+        with pytest.raises(ValueError):
+            theorem1311_stationary_cost_upper(-1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            theorem1311_stationary_cost_upper(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            theorem1311_stationary_cost_upper(1.0, 1.0, 3, 1)

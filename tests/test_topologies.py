@@ -1,0 +1,260 @@
+"""Property grid over every topology generator (repro.graphs.topologies).
+
+Every generator — the original ten and the zoo additions — is checked for
+the contract the rest of the stack relies on: 0..n-1 sorted integer
+labelling (``LocalInteractionGame`` relabels by sorted node order, so the
+generators must agree), seed determinism for the random families,
+connectivity where promised, the exact degree/edge-count invariants of
+the structured families, and loud rejection of degenerate sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    binary_tree_graph,
+    caterpillar_graph,
+    clique_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    load_graph,
+    path_graph,
+    preferential_attachment_graph,
+    random_regular_graph,
+    ring_graph,
+    small_world_graph,
+    star_graph,
+    stochastic_block_model_graph,
+    torus_graph,
+)
+
+import networkx as nx
+
+
+def deterministic_generators():
+    """(name, factory, num_nodes, num_edges) for the structured families."""
+    return [
+        ("ring", lambda: ring_graph(7), 7, 7),
+        ("clique", lambda: clique_graph(6), 6, 15),
+        ("path", lambda: path_graph(5), 5, 4),
+        ("star", lambda: star_graph(6), 6, 5),
+        ("grid", lambda: grid_graph(3, 4), 12, 17),
+        ("torus", lambda: torus_graph(3, 4), 12, 24),
+        ("binary_tree", lambda: binary_tree_graph(3), 15, 14),
+        ("caterpillar", lambda: caterpillar_graph(4, 2), 12, 11),
+    ]
+
+
+def random_generators():
+    """(name, rng -> graph, num_nodes) for the seeded families."""
+    return [
+        ("erdos_renyi", lambda rng: erdos_renyi_graph(12, 0.35, rng=rng), 12),
+        ("random_regular", lambda rng: random_regular_graph(10, 3, rng=rng), 10),
+        (
+            "preferential_attachment",
+            lambda rng: preferential_attachment_graph(12, 2, rng=rng),
+            12,
+        ),
+        ("small_world", lambda rng: small_world_graph(12, 4, 0.2, rng=rng), 12),
+        (
+            "stochastic_block_model",
+            lambda rng: stochastic_block_model_graph([5, 4, 3], 0.8, 0.15, rng=rng),
+            12,
+        ),
+    ]
+
+
+class TestLabellingContract:
+    """Every generator yields integer nodes 0..n-1 (sorted order = identity)."""
+
+    @pytest.mark.parametrize("name,factory,n,_m", deterministic_generators())
+    def test_deterministic_generators(self, name, factory, n, _m):
+        g = factory()
+        assert sorted(g.nodes()) == list(range(n))
+
+    @pytest.mark.parametrize("name,factory,n", random_generators())
+    def test_random_generators(self, name, factory, n):
+        g = factory(np.random.default_rng(0))
+        assert sorted(g.nodes()) == list(range(n))
+
+    def test_load_graph_relabels_sorted(self):
+        g = load_graph(["10 30", "30 20"])
+        # labels 10 < 20 < 30 map to 0 < 1 < 2
+        assert sorted(g.nodes()) == [0, 1, 2]
+        assert g.has_edge(0, 2) and g.has_edge(1, 2) and not g.has_edge(0, 1)
+
+
+class TestSeedDeterminism:
+    """Same seed, same graph — twice; the scenario-matrix cache relies on it."""
+
+    @pytest.mark.parametrize("name,factory,_n", random_generators())
+    def test_same_seed_same_edges(self, name, factory, _n):
+        a = factory(np.random.default_rng(1234))
+        b = factory(np.random.default_rng(1234))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    @pytest.mark.parametrize("name,factory,_n", random_generators())
+    def test_generator_consumes_the_stream(self, name, factory, _n):
+        """Two draws from one rng differ (almost surely) — no hidden reseed."""
+        rng = np.random.default_rng(99)
+        draws = [sorted(factory(rng).edges()) for _ in range(4)]
+        assert any(d != draws[0] for d in draws[1:])
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("name,factory,_n,_m", deterministic_generators())
+    def test_structured_families_connected(self, name, factory, _n, _m):
+        assert nx.is_connected(factory())
+
+    @pytest.mark.parametrize(
+        "name,factory,_n",
+        [g for g in random_generators() if g[0] != "random_regular"],
+    )
+    def test_guaranteed_connected_families(self, name, factory, _n):
+        # ER/SBM resample until connected; PA and connected-WS are
+        # connected by construction (random_regular makes no such promise)
+        for seed in range(5):
+            assert nx.is_connected(factory(np.random.default_rng(seed)))
+
+    def test_er_connectivity_can_be_disabled(self):
+        g = erdos_renyi_graph(
+            30, 0.02, rng=np.random.default_rng(3), ensure_connected=False
+        )
+        assert g.number_of_nodes() == 30  # may or may not be connected
+
+    def test_sbm_resample_exhaustion_raises(self):
+        with pytest.raises(RuntimeError, match="connected"):
+            stochastic_block_model_graph(
+                [4, 4], 0.0, 0.0, rng=np.random.default_rng(0)
+            )
+
+
+class TestDegreeAndEdgeInvariants:
+    @pytest.mark.parametrize("name,factory,n,m", deterministic_generators())
+    def test_node_and_edge_counts(self, name, factory, n, m):
+        g = factory()
+        assert g.number_of_nodes() == n
+        assert g.number_of_edges() == m
+
+    def test_ring_is_2_regular(self):
+        degrees = dict(ring_graph(9).degree())
+        assert set(degrees.values()) == {2}
+
+    def test_torus_is_4_regular(self):
+        degrees = dict(torus_graph(3, 5).degree())
+        assert set(degrees.values()) == {4}
+
+    def test_random_regular_is_regular(self):
+        g = random_regular_graph(10, 3, rng=np.random.default_rng(2))
+        assert set(dict(g.degree()).values()) == {3}
+
+    def test_small_world_preserves_lattice_edge_count(self):
+        # Watts-Strogatz rewires edges but never changes their number
+        g = small_world_graph(14, 4, 0.3, rng=np.random.default_rng(4))
+        assert g.number_of_edges() == 14 * 4 // 2
+
+    def test_caterpillar_structure(self):
+        spine, legs = 5, 3
+        g = caterpillar_graph(spine, legs)
+        degrees = dict(g.degree())
+        # leaves have degree 1; interior spine nodes legs + 2; ends legs + 1
+        assert sum(1 for d in degrees.values() if d == 1) == spine * legs
+        assert degrees[0] == legs + 1 and degrees[spine - 1] == legs + 1
+        for i in range(1, spine - 1):
+            assert degrees[i] == legs + 2
+
+    def test_star_hub_degree(self):
+        degrees = dict(star_graph(8).degree())
+        assert sorted(degrees.values()) == [1] * 7 + [7]
+
+    def test_sbm_block_sizes_add_up(self):
+        sizes = [6, 5, 4]
+        g = stochastic_block_model_graph(
+            sizes, 0.9, 0.2, rng=np.random.default_rng(5)
+        )
+        assert g.number_of_nodes() == sum(sizes)
+
+    @pytest.mark.slow
+    def test_sbm_is_assortative_on_average(self):
+        """With p_in >> p_out most edges must land inside blocks."""
+        sizes = [10, 10]
+        block = np.repeat([0, 1], 10)
+        inside = outside = 0
+        for seed in range(20):
+            g = stochastic_block_model_graph(
+                sizes, 0.8, 0.05, rng=np.random.default_rng(seed)
+            )
+            for u, v in g.edges():
+                if block[u] == block[v]:
+                    inside += 1
+                else:
+                    outside += 1
+        assert inside > 3 * outside
+
+
+class TestDegenerateSizesRejected:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: ring_graph(2),
+            lambda: clique_graph(1),
+            lambda: path_graph(1),
+            lambda: star_graph(1),
+            lambda: grid_graph(0, 3),
+            lambda: torus_graph(2, 3),
+            lambda: binary_tree_graph(0),
+            lambda: caterpillar_graph(1, 2),
+            lambda: caterpillar_graph(3, 0),
+            lambda: erdos_renyi_graph(5, 1.5),
+            lambda: random_regular_graph(5, 5),
+            lambda: random_regular_graph(5, 3),  # odd n * degree
+            lambda: preferential_attachment_graph(1),
+            lambda: preferential_attachment_graph(5, 5),
+            lambda: small_world_graph(2, 2, 0.1),
+            lambda: small_world_graph(10, 3, 0.1),  # odd k
+            lambda: small_world_graph(10, 12, 0.1),  # k >= n
+            lambda: small_world_graph(10, 4, 1.5),
+            lambda: stochastic_block_model_graph([], 0.5, 0.1),
+            lambda: stochastic_block_model_graph([3, 0], 0.5, 0.1),
+            lambda: stochastic_block_model_graph([3, 3], 1.5, 0.1),
+        ],
+    )
+    def test_rejected(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+
+class TestLoadGraph:
+    def test_reads_from_a_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# a comment line\n0 1\n1 2  # trailing comment\n\n2 3\n")
+        g = load_graph(path)
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_string_labels_sort_stably(self):
+        g = load_graph(["alice bob", "bob carol"])
+        # alice < bob < carol alphabetically -> 0, 1, 2
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_integer_labels_sort_numerically(self):
+        g = load_graph(["2 10", "10 1"])
+        # numeric order 1 < 2 < 10, NOT the lexicographic "1" < "10" < "2"
+        assert g.has_edge(1, 2) and g.has_edge(0, 2)
+
+    def test_duplicate_edges_collapse(self):
+        g = load_graph(["0 1", "1 0", "0 1"])
+        assert g.number_of_edges() == 1
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            load_graph(["0 0"])
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError, match="two labels"):
+            load_graph(["0 1 2"])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            load_graph(["# nothing but comments"])
